@@ -1,0 +1,406 @@
+package hnp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hnp/internal/ads"
+	"hnp/internal/baseline"
+	"hnp/internal/core"
+	"hnp/internal/exp"
+	"hnp/internal/hierarchy"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+	"hnp/internal/workload"
+)
+
+// benchCfg keeps figure regeneration fast enough to iterate on while
+// preserving each experiment's structure; `cmd/smq` runs the full paper
+// scale.
+func benchCfg() exp.Config {
+	return exp.Config{Seed: 42, Workloads: 2, Queries: 10, Fig9Sizes: []int{128, 256}}
+}
+
+func benchFig(b *testing.B, fn func(exp.Config) (*exp.Figure, error)) {
+	b.Helper()
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: joint optimization vs plan-then-
+// deploy vs Relaxation on a 64-node network.
+func BenchmarkFig2(b *testing.B) { benchFig(b, exp.Fig2) }
+
+// BenchmarkFig5 regenerates Figure 5: Bottom-Up cost across max_cs.
+func BenchmarkFig5(b *testing.B) { benchFig(b, exp.Fig5) }
+
+// BenchmarkFig6 regenerates Figure 6: Top-Down cost across max_cs.
+func BenchmarkFig6(b *testing.B) { benchFig(b, exp.Fig6) }
+
+// BenchmarkFig7 regenerates Figure 7: sub-optimality and reuse.
+func BenchmarkFig7(b *testing.B) { benchFig(b, exp.Fig7) }
+
+// BenchmarkFig8 regenerates Figure 8: comparison with Relaxation and
+// In-network placement.
+func BenchmarkFig8(b *testing.B) { benchFig(b, exp.Fig8) }
+
+// BenchmarkFig9 regenerates Figure 9: search-space scalability with
+// network size.
+func BenchmarkFig9(b *testing.B) { benchFig(b, exp.Fig9) }
+
+// BenchmarkFig10 regenerates Figure 10: deployment time vs query size on
+// the Emulab-substitute testbed.
+func BenchmarkFig10(b *testing.B) { benchFig(b, exp.Fig10) }
+
+// BenchmarkFig11 regenerates Figure 11: cumulative deployed cost on the
+// Emulab-substitute testbed, with the runtime cross-check.
+func BenchmarkFig11(b *testing.B) { benchFig(b, exp.Fig11) }
+
+// --- per-algorithm planning microbenchmarks -------------------------------
+
+type benchWorld struct {
+	g     *netgraph.Graph
+	paths *netgraph.Paths
+	h     *hierarchy.Hierarchy
+	w     *workload.Workload
+}
+
+func newBenchWorld(b *testing.B, nodes, maxCS int) *benchWorld {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := netgraph.MustTransitStub(nodes, rng)
+	paths := g.ShortestPaths(netgraph.MetricCost)
+	h, err := hierarchy.Build(g, paths, maxCS, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.Generate(workload.Default(50, 32), nodes, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchWorld{g, paths, h, w}
+}
+
+// BenchmarkTopDownPlan measures single-query Top-Down planning on a
+// 128-node network (max_cs=32), the paper's standard setting.
+func BenchmarkTopDownPlan(b *testing.B) {
+	w := newBenchWorld(b, 128, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.w.Queries[i%len(w.w.Queries)]
+		if _, err := core.TopDown(w.h, w.w.Catalog, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBottomUpPlan measures single-query Bottom-Up planning.
+func BenchmarkBottomUpPlan(b *testing.B) {
+	w := newBenchWorld(b, 128, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.w.Queries[i%len(w.w.Queries)]
+		if _, err := core.BottomUp(w.h, w.w.Catalog, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalPlan measures the exhaustive/DP joint optimum the
+// heuristics are judged against.
+func BenchmarkOptimalPlan(b *testing.B) {
+	w := newBenchWorld(b, 128, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.w.Queries[i%len(w.w.Queries)]
+		if _, err := core.Optimal(w.g, w.paths, w.w.Catalog, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelaxationPlan measures the Relaxation baseline's placement.
+func BenchmarkRelaxationPlan(b *testing.B) {
+	w := newBenchWorld(b, 128, 32)
+	rng := rand.New(rand.NewSource(2))
+	emb := baseline.NewEmbedding(w.g, w.paths, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.w.Queries[i%len(w.w.Queries)]
+		if _, err := baseline.Relaxation(w.g, w.paths, emb, w.w.Catalog, q, nil,
+			baseline.DefaultRelaxation()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierarchyBuild measures building the virtual clustering
+// hierarchy over 128 nodes — the one-time cost the heuristics amortize.
+func BenchmarkHierarchyBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := netgraph.MustTransitStub(128, rng)
+	paths := g.ShortestPaths(netgraph.MetricCost)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hierarchy.Build(g, paths, 32, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAPSP measures the all-pairs shortest-path snapshot every
+// optimizer plans against.
+func BenchmarkAPSP(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := netgraph.MustTransitStub(128, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShortestPaths(netgraph.MetricCost)
+	}
+}
+
+// --- ablation benchmarks ---------------------------------------------------
+
+// BenchmarkAblationReuse contrasts Top-Down deployment sequences with and
+// without the advertisement registry, isolating the cost of foregoing
+// operator reuse (the Figure 7 effect as a microbench).
+func BenchmarkAblationReuse(b *testing.B) {
+	w := newBenchWorld(b, 128, 32)
+	for _, mode := range []struct {
+		name  string
+		reuse bool
+	}{{"with-reuse", true}, {"without-reuse", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				var reg *ads.Registry
+				if mode.reuse {
+					reg = ads.NewRegistry()
+				}
+				for _, q := range w.w.Queries[:10] {
+					res, err := core.TopDown(w.h, w.w.Catalog, q, reg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.Cost
+					if reg != nil {
+						reg.AdvertisePlan(q, res.Plan)
+					}
+				}
+			}
+			b.ReportMetric(total/float64(b.N), "cost/seq")
+		})
+	}
+}
+
+// BenchmarkAblationMaxCS sweeps the cluster-size knob for Top-Down,
+// exposing the search-space/sub-optimality trade-off as time vs cost.
+func BenchmarkAblationMaxCS(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := netgraph.MustTransitStub(128, rng)
+	paths := g.ShortestPaths(netgraph.MetricCost)
+	w, err := workload.Generate(workload.Default(50, 16), 128, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cs := range []int{4, 16, 64} {
+		h, err := hierarchy.Build(g, paths, cs, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{4: "max_cs=4", 16: "max_cs=16", 64: "max_cs=64"}[cs], func(b *testing.B) {
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				q := w.Queries[i%len(w.Queries)]
+				res, err := core.TopDown(h, w.Catalog, q, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Cost
+			}
+			b.ReportMetric(total/float64(b.N), "cost/query")
+		})
+	}
+}
+
+// BenchmarkAblationEstimates runs Top-Down once with the hierarchy's
+// per-level cost estimates (as published) and once against a flat
+// single-level hierarchy (exact distances, exhaustive over all nodes),
+// quantifying what the hierarchical approximation gives up.
+func BenchmarkAblationEstimates(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := netgraph.MustTransitStub(64, rng)
+	paths := g.ShortestPaths(netgraph.MetricCost)
+	w, err := workload.Generate(workload.Default(30, 16), 64, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hier32, err := hierarchy.Build(g, paths, 16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flat, err := hierarchy.Build(g, paths, 65, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		h    *hierarchy.Hierarchy
+	}{{"hierarchical", hier32}, {"flat-exact", flat}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				q := w.Queries[i%len(w.Queries)]
+				res, err := core.TopDown(v.h, w.Catalog, q, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Cost
+			}
+			b.ReportMetric(total/float64(b.N), "cost/query")
+		})
+	}
+}
+
+// BenchmarkSolveDP measures the in-cluster joint DP itself across input
+// counts — the inner loop of everything.
+func BenchmarkSolveDP(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := netgraph.MustTransitStub(32, rng)
+	paths := g.ShortestPaths(netgraph.MetricCost)
+	for _, k := range []int{3, 5, 7} {
+		k := k
+		b.Run(map[int]string{3: "k=3", 5: "k=5", 7: "k=7"}[k], func(b *testing.B) {
+			cat := query.NewCatalog(0.01)
+			ids := make([]query.StreamID, k)
+			for i := range ids {
+				ids[i] = cat.Add("s", 1+rng.Float64()*50, netgraph.NodeID(rng.Intn(32)))
+			}
+			q, err := query.NewQuery(0, ids, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := query.BuildRates(cat, q)
+			prob := core.Problem{
+				Inputs: core.BaseInputs(cat, q, rt),
+				Sites:  baseline.AllNodes(g),
+				Dist:   paths.Dist,
+				Rates:  rt,
+				Goal:   q.All(),
+				Sink:   q.Sink, Deliver: true,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLeftDeep contrasts bushy and left-deep plan spaces for
+// the phased baseline: the same optimal placement over trees from the two
+// search spaces.
+func BenchmarkAblationLeftDeep(b *testing.B) {
+	w := newBenchWorld(b, 64, 16)
+	sites := baseline.AllNodes(w.g)
+	for _, shape := range []string{"bushy", "left-deep"} {
+		shape := shape
+		b.Run(shape, func(b *testing.B) {
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				q := w.w.Queries[i%len(w.w.Queries)]
+				rt := query.BuildRates(w.w.Catalog, q)
+				ins := core.BaseInputs(w.w.Catalog, q, rt)
+				var tree *query.PlanNode
+				var err error
+				if shape == "bushy" {
+					tree, err = baseline.SelectivityTree(ins, rt, q.All())
+				} else {
+					tree, err = baseline.SelectivityTreeLeftDeep(ins, rt, q.All())
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, cost, err := baseline.PlaceFixedTree(tree, q, sites, w.paths.Dist, q.Sink, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += cost
+			}
+			b.ReportMetric(total/float64(b.N), "cost/query")
+		})
+	}
+}
+
+// BenchmarkAblationTopology measures Top-Down planning cost and quality
+// across network families: the transit-stub model of the paper, a grid,
+// and a scale-free overlay.
+func BenchmarkAblationTopology(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	costs := netgraph.CostRange{Lo: 1, Hi: 10}
+	delay := netgraph.CostRange{Lo: 0.001, Hi: 0.06}
+	tops := []struct {
+		name string
+		g    *netgraph.Graph
+	}{
+		{"transit-stub", netgraph.MustTransitStub(128, rng)},
+		{"grid", netgraph.Grid(8, 16, costs, delay, rng)},
+		{"scale-free", netgraph.ScaleFree(128, 2, costs, delay, rng)},
+	}
+	for _, tp := range tops {
+		tp := tp
+		b.Run(tp.name, func(b *testing.B) {
+			paths := tp.g.ShortestPaths(netgraph.MetricCost)
+			h, err := hierarchy.Build(tp.g, paths, 32, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := workload.Generate(workload.Default(10, 16), 128, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			subopt := 0.0
+			for i := 0; i < b.N; i++ {
+				q := w.Queries[i%len(w.Queries)]
+				td, err := core.TopDown(h, w.Catalog, q, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt, err := core.Optimal(tp.g, paths, w.Catalog, q, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				subopt += td.Cost / opt.Cost
+			}
+			b.ReportMetric(subopt/float64(b.N), "td/opt")
+		})
+	}
+}
+
+// BenchmarkBatchOptimization measures the consolidated multi-query
+// optimizer against sequential deployment on an overlapping batch.
+func BenchmarkBatchOptimization(b *testing.B) {
+	w := newBenchWorld(b, 64, 16)
+	qs := w.w.Queries[:8]
+	pf := func(q *query.Query, reg *ads.Registry) (core.Result, error) {
+		return core.TopDown(w.h, w.w.Catalog, q, reg)
+	}
+	b.ResetTimer()
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		batch, err := core.OptimizeBatch(pf, w.paths.Dist, qs, nil, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += batch.TotalCost
+	}
+	b.ReportMetric(total/float64(b.N), "cost/batch")
+}

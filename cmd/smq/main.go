@@ -1,0 +1,73 @@
+// Command smq regenerates the paper's evaluation figures. Each figure is
+// printed as an aligned text table with headline notes comparing measured
+// numbers against the paper's claims.
+//
+// Usage:
+//
+//	smq -fig all                 # every figure at paper scale
+//	smq -fig 7                   # one figure
+//	smq -fig 5,6 -workloads 3    # reduced averaging for quick runs
+//	smq -fig 9 -seed 7           # different randomness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hnp/internal/exp"
+)
+
+func main() {
+	var (
+		figs      = flag.String("fig", "all", "comma-separated figure ids (2,5,6,7,8,9,10,11) or 'all'")
+		seed      = flag.Int64("seed", 42, "random seed")
+		workloads = flag.Int("workloads", 10, "workloads averaged in figs 5-8")
+		queries   = flag.Int("queries", 20, "queries per workload in figs 5-8")
+		format    = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Workloads = *workloads
+	cfg.Queries = *queries
+
+	harness := map[string]func(exp.Config) (*exp.Figure, error){
+		"2": exp.Fig2, "5": exp.Fig5, "6": exp.Fig6, "7": exp.Fig7,
+		"8": exp.Fig8, "9": exp.Fig9, "10": exp.Fig10, "11": exp.Fig11,
+	}
+	order := []string{"2", "5", "6", "7", "8", "9", "10", "11"}
+
+	var wanted []string
+	if *figs == "all" {
+		wanted = order
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := harness[f]; !ok {
+				fmt.Fprintf(os.Stderr, "smq: unknown figure %q (known: %s, all)\n", f, strings.Join(order, ","))
+				os.Exit(2)
+			}
+			wanted = append(wanted, f)
+		}
+	}
+
+	for _, id := range wanted {
+		fig, err := harness[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smq: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fig.RenderCSV(os.Stdout)
+		case "table":
+			fig.Render(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "smq: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command topogen generates transit-stub network topologies (the GT-ITM
+// model the paper evaluates on) and prints them as an edge list:
+//
+//	topogen -n 128 -seed 1
+//
+// Output lines are "a b cost delay", preceded by a comment header, so the
+// topology can be piped into other tools or inspected by hand.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hnp/internal/netgraph"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 128, "total number of nodes")
+		seed    = flag.Int64("seed", 1, "random seed")
+		transit = flag.Int("transit", 4, "transit (backbone) domain size")
+		stubs   = flag.Int("stubs", 4, "stub domains per transit node")
+	)
+	flag.Parse()
+
+	cfg := netgraph.DefaultTransitStub(*n)
+	cfg.TransitNodes = *transit
+	cfg.StubsPerTransit = *stubs
+	g, err := netgraph.TransitStub(cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# transit-stub topology: %d nodes, %d links, seed %d\n",
+		g.NumNodes(), g.NumLinks(), *seed)
+	fmt.Fprintf(w, "# columns: nodeA nodeB costPerByte delaySeconds\n")
+	for _, l := range g.Links() {
+		fmt.Fprintf(w, "%d %d %.4f %.4f\n", l.A, l.B, l.Cost, l.Delay)
+	}
+}

@@ -1,0 +1,3 @@
+module hnp
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package hnp (Hierarchical Network Partitions) is a distributed
+// stream-query optimization library reproducing "Optimizing Multiple
+// Distributed Stream Queries Using Hierarchical Network Partitions"
+// (Seshadri, Kumar, Cooper, Liu — IPDPS 2007).
+//
+// It jointly chooses query plans (bushy join orders) and deployments
+// (operator-to-node assignments) for continuous select-project-join
+// queries over distributed stream sources, using a virtual clustering
+// hierarchy of the network to keep the search tractable and stream
+// advertisements to reuse operators across queries.
+//
+// The essential workflow:
+//
+//	g := hnp.TransitStubNetwork(128, 1)       // or build your own Graph
+//	sys, _ := hnp.NewSystem(g, 32, 1)          // hierarchy with max_cs=32
+//	flights := sys.AddStream("FLIGHTS", 40, 17)
+//	weather := sys.AddStream("WEATHER", 25, 93)
+//	sys.SetSelectivity(flights, weather, 0.01)
+//	dep, _ := sys.Deploy([]hnp.StreamID{flights, weather}, 5, hnp.AlgoTopDown)
+//	fmt.Println(dep.Plan, dep.Cost)
+//
+// Deployed operators are advertised automatically, so later Deploy calls
+// reuse them whenever that is cheaper than duplicating work.
+package hnp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hnp/internal/ads"
+	"hnp/internal/baseline"
+	"hnp/internal/core"
+	"hnp/internal/cql"
+	"hnp/internal/hierarchy"
+	"hnp/internal/load"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// Re-exported substrate types. Aliases keep one set of method sets and let
+// the examples and external tooling use the library without touching
+// internal packages directly.
+type (
+	// Graph is the physical network: nodes joined by links with per-byte
+	// costs and propagation delays.
+	Graph = netgraph.Graph
+	// NodeID identifies a physical network node.
+	NodeID = netgraph.NodeID
+	// StreamID identifies a registered base stream.
+	StreamID = query.StreamID
+	// Query is a continuous SPJ query over base streams.
+	Query = query.Query
+	// PlanNode is a deployed operator tree.
+	PlanNode = query.PlanNode
+	// Result carries a plan, its cost, and search-space accounting.
+	Result = core.Result
+	// Hierarchy is the virtual clustering hierarchy of network partitions.
+	Hierarchy = hierarchy.Hierarchy
+	// Registry is the stream-advertisement registry enabling reuse.
+	Registry = ads.Registry
+	// Range is a predicate interval over an attribute's [0,1] domain.
+	Range = query.Range
+	// Pred constrains one attribute of one stream.
+	Pred = query.Pred
+	// PredSet is a conjunction of predicates; deployed operators computed
+	// under weaker predicates are reusable by stricter queries through
+	// residual filters (query containment).
+	PredSet = query.PredSet
+	// AggSpec describes a windowed aggregation over a query's result.
+	AggSpec = query.AggSpec
+)
+
+// MustPredSet builds a normalized predicate set, panicking on
+// contradictions — convenient for literals.
+func MustPredSet(preds ...Pred) PredSet { return query.MustPredSet(preds...) }
+
+// Metric selects what the optimizers minimize.
+type Metric = netgraph.Metric
+
+const (
+	// MetricCost optimizes communication cost (rate × per-byte link cost),
+	// the paper's primary objective.
+	MetricCost = netgraph.MetricCost
+	// MetricDelay optimizes response time: the hierarchy clusters by
+	// inter-node delay and plans minimize rate-weighted path latency, as
+	// the paper prescribes for response-time objectives ("if the metric is
+	// response-time, we cluster based on inter-node delays").
+	MetricDelay = netgraph.MetricDelay
+)
+
+// NewGraph returns an empty network with n nodes; add links with AddLink.
+func NewGraph(n int) *Graph { return netgraph.New(n) }
+
+// TransitStubNetwork generates the paper's standard Internet-style
+// topology with exactly n nodes (transit backbone plus cheap stub
+// domains), deterministically from the seed.
+func TransitStubNetwork(n int, seed int64) *Graph {
+	return netgraph.MustTransitStub(n, rand.New(rand.NewSource(seed)))
+}
+
+// Algorithm selects the optimizer Deploy runs.
+type Algorithm int
+
+const (
+	// AlgoTopDown is the paper's Top-Down algorithm: bounded
+	// sub-optimality, plans recursively down the hierarchy.
+	AlgoTopDown Algorithm = iota
+	// AlgoBottomUp is the paper's Bottom-Up algorithm: smaller search
+	// space and faster deployments, weaker guarantees.
+	AlgoBottomUp
+	// AlgoOptimal is the exhaustive joint optimum (DP over the whole
+	// network) — exact but unscalable; useful as a baseline.
+	AlgoOptimal
+	// AlgoPlanThenDeploy is the conventional phased baseline:
+	// selectivity-only planning followed by optimal placement.
+	AlgoPlanThenDeploy
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoTopDown:
+		return "top-down"
+	case AlgoBottomUp:
+		return "bottom-up"
+	case AlgoOptimal:
+		return "optimal"
+	case AlgoPlanThenDeploy:
+		return "plan-then-deploy"
+	}
+	return "unknown"
+}
+
+// System ties a network, its clustering hierarchy, a stream catalog and
+// an advertisement registry into one optimization endpoint.
+type System struct {
+	Graph     *Graph
+	Paths     *netgraph.Paths
+	Hierarchy *Hierarchy
+	Catalog   *query.Catalog
+	Registry  *Registry
+
+	metric    Metric
+	nextQuery int
+
+	loadAlpha float64
+	tracker   *load.Tracker
+}
+
+// NewSystem builds the hierarchy (cluster size cap maxCS) over g for the
+// communication-cost objective and returns a ready-to-use system. The
+// seed drives clustering only; identical inputs give identical
+// hierarchies.
+func NewSystem(g *Graph, maxCS int, seed int64) (*System, error) {
+	return NewSystemWithMetric(g, maxCS, seed, MetricCost)
+}
+
+// NewSystemWithMetric is NewSystem with an explicit optimization metric:
+// MetricDelay clusters the hierarchy by inter-node delay and every
+// planner minimizes rate-weighted latency instead of transfer cost.
+func NewSystemWithMetric(g *Graph, maxCS int, seed int64, m Metric) (*System, error) {
+	paths := g.ShortestPaths(m)
+	h, err := hierarchy.Build(g, paths, maxCS, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Graph:     g,
+		Paths:     paths,
+		Hierarchy: h,
+		Catalog:   query.NewCatalog(0.01),
+		Registry:  ads.NewRegistry(),
+		metric:    m,
+		tracker:   load.NewTracker(),
+	}, nil
+}
+
+// SetLoadPenalty enables load-aware planning: placing an operator on a
+// node already processing load L costs an extra alpha×L×inputRate in the
+// planning objective, steering new deployments away from overloaded
+// nodes (the paper's "node N2 may be overloaded" scenario). Zero disables
+// it. Deployed plans feed the load ledger automatically; use AddLoad for
+// background load from other applications.
+func (s *System) SetLoadPenalty(alpha float64) { s.loadAlpha = alpha }
+
+// AddLoad records synthetic background processing load on a node.
+func (s *System) AddLoad(v NodeID, inRate float64) { s.tracker.AddRaw(v, inRate) }
+
+// NodeLoad returns the tracked processing load (input rate) on a node.
+func (s *System) NodeLoad(v NodeID) float64 { return s.tracker.Load(v) }
+
+// AddStream registers a base stream producing rate cost-units per unit
+// time at the given node.
+func (s *System) AddStream(name string, rate float64, source NodeID) StreamID {
+	return s.Catalog.Add(name, rate, source)
+}
+
+// SetSelectivity records the pairwise join selectivity between streams.
+func (s *System) SetSelectivity(a, b StreamID, sel float64) {
+	s.Catalog.SetSelectivity(a, b, sel)
+}
+
+// Deployment is the outcome of deploying one query.
+type Deployment struct {
+	Query *Query
+	Result
+}
+
+// Plan plans a query without deploying it (no advertisements recorded):
+// useful for what-if comparisons.
+func (s *System) Plan(sources []StreamID, sink NodeID, algo Algorithm) (Deployment, error) {
+	return s.PlanWhere(sources, sink, algo, PredSet{})
+}
+
+// PlanWhere is Plan with selection predicates.
+func (s *System) PlanWhere(sources []StreamID, sink NodeID, algo Algorithm, preds PredSet) (Deployment, error) {
+	q, err := query.NewQueryPred(s.nextQuery, sources, sink, preds)
+	if err != nil {
+		return Deployment{}, err
+	}
+	res, err := s.run(q, algo)
+	if err != nil {
+		return Deployment{}, err
+	}
+	return Deployment{Query: q, Result: res}, nil
+}
+
+// Deploy plans a query with the chosen algorithm — considering reuse of
+// every previously deployed operator — and advertises the new plan's
+// operators for future queries. The returned cost is the marginal
+// communication cost per unit time this deployment adds.
+func (s *System) Deploy(sources []StreamID, sink NodeID, algo Algorithm) (Deployment, error) {
+	return s.DeployWhere(sources, sink, algo, PredSet{})
+}
+
+// DeployWhere is Deploy with selection predicates: stricter queries can
+// reuse previously deployed weaker operators through residual filters.
+func (s *System) DeployWhere(sources []StreamID, sink NodeID, algo Algorithm, preds PredSet) (Deployment, error) {
+	d, err := s.PlanWhere(sources, sink, algo, preds)
+	if err != nil {
+		return Deployment{}, err
+	}
+	s.nextQuery++
+	s.Registry.AdvertisePlan(d.Query, d.Result.Plan)
+	s.tracker.AddPlan(d.Result.Plan)
+	return d, nil
+}
+
+// DeployCQL parses a SQL-like continuous query (the paper's query
+// syntax; see internal/cql for the grammar) against the catalog, plans it
+// with the chosen algorithm — predicates, containment and aggregates
+// included — and deploys it toward the sink:
+//
+//	sys.DeployCQL(`SELECT FLIGHTS.STATUS, CHECK-INS.STATUS
+//	               FROM FLIGHTS, CHECK-INS
+//	               WHERE FLIGHTS.DEPARTING = 'ATLANTA'
+//	                 AND FLIGHTS.NUM = CHECK-INS.FLNUM`, sink, hnp.AlgoTopDown)
+func (s *System) DeployCQL(stmt string, sink NodeID, algo Algorithm) (Deployment, error) {
+	d, err := s.PlanCQL(stmt, sink, algo)
+	if err != nil {
+		return Deployment{}, err
+	}
+	s.nextQuery++
+	s.Registry.AdvertisePlan(d.Query, d.Result.Plan)
+	s.tracker.AddPlan(d.Result.Plan)
+	return d, nil
+}
+
+// PlanCQL parses and plans a SQL-like query without deploying it (no
+// advertisements or load recorded) — what-if analysis for query text.
+func (s *System) PlanCQL(stmt string, sink NodeID, algo Algorithm) (Deployment, error) {
+	st, err := cql.Parse(s.Catalog, stmt)
+	if err != nil {
+		return Deployment{}, err
+	}
+	q, err := st.Query(s.nextQuery, sink)
+	if err != nil {
+		return Deployment{}, err
+	}
+	res, err := s.run(q, algo)
+	if err != nil {
+		return Deployment{}, err
+	}
+	return Deployment{Query: q, Result: res}, nil
+}
+
+// DeployAggregate deploys a query whose join result is reduced by a
+// windowed aggregation before delivery; the aggregate is placed jointly
+// with the rest of the plan (usually on the join root, collapsing the
+// downstream rate).
+func (s *System) DeployAggregate(sources []StreamID, sink NodeID, algo Algorithm,
+	preds PredSet, agg AggSpec) (Deployment, error) {
+	q, err := query.NewQueryAgg(s.nextQuery, sources, sink, preds, agg)
+	if err != nil {
+		return Deployment{}, err
+	}
+	res, err := s.run(q, algo)
+	if err != nil {
+		return Deployment{}, err
+	}
+	s.nextQuery++
+	s.Registry.AdvertisePlan(q, res.Plan)
+	s.tracker.AddPlan(res.Plan)
+	return Deployment{Query: q, Result: res}, nil
+}
+
+func (s *System) run(q *query.Query, algo Algorithm) (Result, error) {
+	var opts core.Options
+	if s.loadAlpha > 0 {
+		opts.Penalty = s.tracker.Penalty(s.loadAlpha)
+	}
+	switch algo {
+	case AlgoTopDown:
+		return core.TopDownOpts(s.Hierarchy, s.Catalog, q, s.Registry, opts)
+	case AlgoBottomUp:
+		return core.BottomUpOpts(s.Hierarchy, s.Catalog, q, s.Registry, opts)
+	case AlgoOptimal:
+		return core.OptimalOpts(s.Graph, s.Paths, s.Catalog, q, s.Registry, opts)
+	case AlgoPlanThenDeploy:
+		// The phased baseline predates load awareness; it ignores opts.
+		return baseline.PlanThenDeploy(s.Graph, s.Paths, s.Catalog, q, s.Registry)
+	}
+	return Result{}, fmt.Errorf("hnp: unknown algorithm %d", algo)
+}
+
+// Refresh rebuilds the path snapshot and re-binds the hierarchy after the
+// graph changed (link cost updates, node churn handled via the hierarchy's
+// AddNode/RemoveNode).
+func (s *System) Refresh() {
+	s.Paths = s.Graph.ShortestPaths(s.metric)
+	s.Hierarchy.Rebind(s.Paths)
+}

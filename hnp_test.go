@@ -1,0 +1,284 @@
+package hnp
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestSystem(t *testing.T) (*System, []StreamID) {
+	t.Helper()
+	g := TransitStubNetwork(64, 3)
+	sys, err := NewSystem(g, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.AddStream("A", 40, 4)
+	b := sys.AddStream("B", 30, 20)
+	c := sys.AddStream("C", 25, 50)
+	sys.SetSelectivity(a, b, 0.01)
+	sys.SetSelectivity(a, c, 0.02)
+	sys.SetSelectivity(b, c, 0.005)
+	return sys, []StreamID{a, b, c}
+}
+
+func TestDeployAllAlgorithms(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoTopDown, AlgoBottomUp, AlgoOptimal, AlgoPlanThenDeploy} {
+		sys, ids := newTestSystem(t)
+		d, err := sys.Deploy(ids, 9, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if d.Plan == nil || d.Cost <= 0 {
+			t.Fatalf("%v: bad deployment %+v", algo, d.Result)
+		}
+		if err := d.Plan.Validate(); err != nil {
+			t.Errorf("%v: %v", algo, err)
+		}
+	}
+}
+
+func TestHeuristicsBoundedByOptimal(t *testing.T) {
+	sys, ids := newTestSystem(t)
+	opt, err := sys.Plan(ids, 9, AlgoOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoTopDown, AlgoBottomUp, AlgoPlanThenDeploy} {
+		d, err := sys.Plan(ids, 9, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Cost < opt.Cost-1e-6 {
+			t.Errorf("%v cost %g beats optimal %g", algo, d.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestDeployAdvertisesAndReuses(t *testing.T) {
+	sys, ids := newTestSystem(t)
+	first, err := sys.Deploy(ids, 9, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Registry.Len() == 0 {
+		t.Fatal("no advertisements after deploy")
+	}
+	// Same query again: full reuse caps the marginal cost at shipping the
+	// existing root output to the sink.
+	second, err := sys.Deploy(ids, 9, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := second.Plan.Rate * sys.Paths.Dist(first.Plan.Loc, 9)
+	if second.Cost > cap+1e-6 {
+		t.Errorf("second deploy cost %g > reuse cap %g", second.Cost, cap)
+	}
+	if second.Query.ID == first.Query.ID {
+		t.Error("query IDs not advancing")
+	}
+}
+
+func TestPlanDoesNotAdvertise(t *testing.T) {
+	sys, ids := newTestSystem(t)
+	if _, err := sys.Plan(ids, 9, AlgoTopDown); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Registry.Len() != 0 {
+		t.Error("Plan recorded advertisements")
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	sys, ids := newTestSystem(t)
+	if _, err := sys.Plan(ids, 9, Algorithm(99)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if Algorithm(99).String() != "unknown" {
+		t.Error("String for unknown")
+	}
+	if AlgoTopDown.String() != "top-down" || AlgoBottomUp.String() != "bottom-up" ||
+		AlgoOptimal.String() != "optimal" || AlgoPlanThenDeploy.String() != "plan-then-deploy" {
+		t.Error("Algorithm.String labels wrong")
+	}
+}
+
+func TestRefreshAfterLinkChange(t *testing.T) {
+	sys, ids := newTestSystem(t)
+	before, err := sys.Plan(ids, 9, AlgoOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make one of the plan's transfer links expensive and re-optimize.
+	links := sys.Graph.Links()
+	for _, l := range links {
+		if err := sys.Graph.SetLinkCost(l.A, l.B, l.Cost*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Refresh()
+	after, err := sys.Plan(ids, 9, AlgoOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after.Cost-3*before.Cost) > 0.5*before.Cost {
+		t.Errorf("uniform 3x link costs: cost %g -> %g (expected ~3x)", before.Cost, after.Cost)
+	}
+}
+
+func TestNewSystemErrors(t *testing.T) {
+	if _, err := NewSystem(NewGraph(4), 1, 1); err == nil {
+		t.Error("maxCS=1 accepted")
+	}
+}
+
+func TestDelayMetricSystem(t *testing.T) {
+	g := TransitStubNetwork(64, 5)
+	sys, err := NewSystemWithMetric(g, 8, 5, MetricDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.AddStream("A", 40, 4)
+	b := sys.AddStream("B", 30, 20)
+	sys.SetSelectivity(a, b, 0.01)
+	d, err := sys.Deploy([]StreamID{a, b}, 9, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cost <= 0 {
+		t.Fatal("non-positive delay cost")
+	}
+	// The plan's cost must be measured in delay units: it equals the plan
+	// re-costed against delay paths, not cost paths.
+	delayPaths := g.ShortestPaths(MetricDelay)
+	if got := d.Plan.Cost(delayPaths.Dist, 9); got != d.Cost {
+		t.Errorf("cost %g not in delay units (%g)", d.Cost, got)
+	}
+	// Refresh must stay on the delay metric.
+	links := g.Links()
+	if err := g.SetLinkCost(links[0].A, links[0].B, links[0].Cost*2); err != nil {
+		t.Fatal(err)
+	}
+	sys.Refresh()
+	if sys.Paths.Metric() != MetricDelay {
+		t.Error("Refresh switched metrics")
+	}
+}
+
+func TestLoadAwareDeployAvoidsHotNode(t *testing.T) {
+	sys, ids := newTestSystem(t)
+	// Find where the load-oblivious plan puts its operators.
+	plain, err := sys.Plan(ids, 9, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := plain.Plan.Operators()
+	if len(ops) == 0 {
+		t.Skip("no operators")
+	}
+	hot := ops[0].Loc
+	// Saturate that node and enable load-aware planning.
+	sys.SetLoadPenalty(10)
+	sys.AddLoad(hot, 1e6)
+	aware, err := sys.Plan(ids, 9, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range aware.Plan.Operators() {
+		if op.Loc == hot {
+			t.Errorf("load-aware plan still uses overloaded node %d", hot)
+		}
+	}
+	// Deployments feed the ledger.
+	before := sys.NodeLoad(aware.Plan.Operators()[0].Loc)
+	if _, err := sys.Deploy(ids, 9, AlgoTopDown); err != nil {
+		t.Fatal(err)
+	}
+	grew := false
+	for _, op := range aware.Plan.Operators() {
+		if sys.NodeLoad(op.Loc) > before {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Error("deploy did not record load")
+	}
+}
+
+func TestDeployAggregate(t *testing.T) {
+	sys, ids := newTestSystem(t)
+	agg := AggSpec{Fn: "count", Window: 30, OutRate: 0.2}
+	// Price the un-aggregated query first (before any reuse exists).
+	plain, err := sys.Plan(ids, 9, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.DeployAggregate(ids, 9, AlgoTopDown, PredSet{}, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Plan.IsUnary() {
+		t.Fatalf("plan root not an aggregate: %s", d.Plan)
+	}
+	if d.Cost > plain.Cost+1e-6 {
+		t.Errorf("aggregation raised cost %g -> %g", plain.Cost, d.Cost)
+	}
+	// Invalid specs are rejected.
+	if _, err := sys.DeployAggregate(ids, 9, AlgoTopDown, PredSet{}, AggSpec{}); err == nil {
+		t.Error("invalid agg spec accepted")
+	}
+}
+
+func TestDeployCQL(t *testing.T) {
+	g := TransitStubNetwork(32, 7)
+	sys, err := NewSystem(g, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddStream("WEATHER", 18, 5)
+	sys.AddStream("FLIGHTS", 60, 12)
+	sys.AddStream("CHECK-INS", 45, 13)
+
+	// The paper's Q2.
+	q2 := `SELECT FLIGHTS.STATUS, CHECK-INS.STATUS
+	       FROM FLIGHTS, CHECK-INS
+	       WHERE FLIGHTS.DEPARTING = 'ATLANTA'
+	         AND FLIGHTS.NUM = CHECK-INS.FLNUM
+	         AND FLIGHTS.DP_TIME < 0.5`
+	d2, err := sys.DeployCQL(q2, 14, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Query.K() != 2 || d2.Cost <= 0 {
+		t.Fatalf("Q2 deployment: %+v", d2.Result)
+	}
+
+	// The paper's Q1 shares Q2's predicates on FLIGHTS ⋈ CHECK-INS, so its
+	// deployment can reuse Q2's operator.
+	q1 := `SELECT FLIGHTS.STATUS, WEATHER.FORECAST, CHECK-INS.STATUS
+	       FROM FLIGHTS, WEATHER, CHECK-INS
+	       WHERE FLIGHTS.DEPARTING = 'ATLANTA'
+	         AND FLIGHTS.DESTN = WEATHER.CITY
+	         AND FLIGHTS.NUM = CHECK-INS.FLNUM
+	         AND FLIGHTS.DP_TIME < 0.5`
+	d1, err := sys.DeployCQL(q1, 9, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Query.K() != 3 {
+		t.Fatalf("Q1 sources = %d", d1.Query.K())
+	}
+	// Aggregated CQL.
+	agg := `SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.DESTN = WEATHER.CITY
+	        WINDOW 60 AGGREGATE COUNT`
+	da, err := sys.DeployCQL(agg, 3, AlgoTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da.Plan.IsUnary() {
+		t.Error("aggregate clause lost")
+	}
+	// Parse errors surface.
+	if _, err := sys.DeployCQL("SELECT FROM", 0, AlgoTopDown); err == nil {
+		t.Error("bad CQL accepted")
+	}
+}

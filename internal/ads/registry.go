@@ -1,0 +1,168 @@
+// Package ads implements stream advertisements: nodes advertise the base
+// and derived streams (outputs of deployed operators) they host, and
+// coordinators aggregate these up the hierarchy. Advertisements are what
+// make operator reuse visible to the planners — a derived stream can feed
+// a new query with no additional cost for transporting or recomputing its
+// input data.
+package ads
+
+import (
+	"sort"
+
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// Ad advertises one derived stream: the output of a deployed operator (or
+// a delivered sink stream) materialized at a node.
+type Ad struct {
+	// Sig is the canonical signature of the joined base streams.
+	Sig string
+	// Streams are the base streams combined by the advertised operator.
+	Streams []query.StreamID
+	// Node is where the stream is materialized.
+	Node netgraph.NodeID
+	// Rate is the expected output rate.
+	Rate float64
+	// QueryID records which query's deployment created the stream.
+	QueryID int
+	// Preds are the predicates the advertised operator was computed
+	// under; a stricter query can reuse the stream through a residual
+	// filter (query containment).
+	Preds query.PredSet
+}
+
+// Registry indexes advertisements by signature. The zero value is not
+// usable; create with NewRegistry.
+type Registry struct {
+	bySig map[string][]Ad
+	count int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{bySig: map[string][]Ad{}} }
+
+// Advertise records an ad. A duplicate (same signature at the same node)
+// is ignored, matching the one-time advertisement semantics of the paper.
+// It reports whether the ad was new.
+func (r *Registry) Advertise(ad Ad) bool {
+	for _, ex := range r.bySig[ad.Sig] {
+		if ex.Node == ad.Node {
+			return false
+		}
+	}
+	r.bySig[ad.Sig] = append(r.bySig[ad.Sig], ad)
+	r.count++
+	return true
+}
+
+// Len returns the number of stored advertisements.
+func (r *Registry) Len() int { return r.count }
+
+// AddAll copies every ad from other into r (duplicates skipped). It
+// returns the number of new ads.
+func (r *Registry) AddAll(other *Registry) int {
+	if other == nil {
+		return 0
+	}
+	added := 0
+	for _, ad := range other.All() {
+		if r.Advertise(ad) {
+			added++
+		}
+	}
+	return added
+}
+
+// Clone returns an independent copy of the registry.
+func (r *Registry) Clone() *Registry {
+	c := NewRegistry()
+	c.AddAll(r)
+	return c
+}
+
+// Lookup returns all ads with the given signature.
+func (r *Registry) Lookup(sig string) []Ad { return r.bySig[sig] }
+
+// All returns every ad, ordered by signature then node, for deterministic
+// iteration.
+func (r *Registry) All() []Ad {
+	sigs := make([]string, 0, len(r.bySig))
+	for s := range r.bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	var out []Ad
+	for _, s := range sigs {
+		as := append([]Ad(nil), r.bySig[s]...)
+		sort.Slice(as, func(i, j int) bool { return as[i].Node < as[j].Node })
+		out = append(out, as...)
+	}
+	return out
+}
+
+// InputsFor converts the ads usable by query q into planner inputs:
+// every ad whose stream set is a subset of q's sources, covering at least
+// two positions (single-stream ads duplicate base inputs), whose node
+// passes the within filter (nil means anywhere), and whose predicates
+// contain the query's — exact-match reuse and containment-based reuse
+// through a residual filter applied at the producing node. Rates are
+// taken from the query's rate table (which already reflects the query's
+// own predicates) so reuse and fresh computation are costed consistently.
+func (r *Registry) InputsFor(q *query.Query, rt query.RateTable, within func(netgraph.NodeID) bool) []query.Input {
+	var out []query.Input
+	for _, ad := range r.All() {
+		mask, ok := q.MaskOf(ad.Streams)
+		if !ok || mask.Count() < 2 {
+			continue
+		}
+		if within != nil && !within(ad.Node) {
+			continue
+		}
+		need := q.Preds.Restrict(ad.Streams)
+		if !ad.Preds.Contains(need) {
+			continue
+		}
+		in := query.Input{
+			Mask:    mask,
+			Rate:    rt.Rate(mask),
+			Loc:     ad.Node,
+			Derived: true,
+			Sig:     q.SigOf(mask),
+		}
+		if !ad.Preds.Equal(need) {
+			// Strict containment: the reused stream is filtered at the
+			// producing node before shipping.
+			in.BaseSig = ad.Sig
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// AdvertisePlan records derived-stream ads for every operator of a
+// deployed plan (reused subtrees are already advertised and are skipped by
+// the duplicate check). It returns the number of new ads.
+func (r *Registry) AdvertisePlan(q *query.Query, root *query.PlanNode) int {
+	added := 0
+	for _, op := range root.Operators() {
+		if op.IsUnary() {
+			// Aggregated outputs are terminal summaries, not reusable join
+			// inputs.
+			continue
+		}
+		streams := q.StreamsOf(op.Mask)
+		ad := Ad{
+			Sig:     q.SigOf(op.Mask),
+			Streams: streams,
+			Node:    op.Loc,
+			Rate:    op.Rate,
+			QueryID: q.ID,
+			Preds:   q.Preds.Restrict(streams),
+		}
+		if r.Advertise(ad) {
+			added++
+		}
+	}
+	return added
+}

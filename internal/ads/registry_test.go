@@ -1,0 +1,111 @@
+package ads
+
+import (
+	"testing"
+
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+func setup() (*query.Catalog, *query.Query, query.RateTable) {
+	cat := query.NewCatalog(0.1)
+	a := cat.Add("A", 10, 0)
+	b := cat.Add("B", 20, 1)
+	c := cat.Add("C", 5, 2)
+	q, err := query.NewQuery(1, []query.StreamID{a, b, c}, 7)
+	if err != nil {
+		panic(err)
+	}
+	return cat, q, query.BuildRates(cat, q)
+}
+
+func TestAdvertiseDedup(t *testing.T) {
+	r := NewRegistry()
+	ad := Ad{Sig: "0|1", Streams: []query.StreamID{0, 1}, Node: 3, Rate: 20, QueryID: 1}
+	if !r.Advertise(ad) {
+		t.Error("first advertise rejected")
+	}
+	if r.Advertise(ad) {
+		t.Error("duplicate advertise accepted")
+	}
+	other := ad
+	other.Node = 4
+	if !r.Advertise(other) {
+		t.Error("same sig at new node rejected")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if got := r.Lookup("0|1"); len(got) != 2 {
+		t.Errorf("Lookup = %v", got)
+	}
+	if got := r.Lookup("9"); got != nil {
+		t.Errorf("Lookup missing sig = %v", got)
+	}
+}
+
+func TestAllDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Advertise(Ad{Sig: "2|3", Node: 9})
+	r.Advertise(Ad{Sig: "0|1", Node: 5})
+	r.Advertise(Ad{Sig: "0|1", Node: 2})
+	all := r.All()
+	if len(all) != 3 {
+		t.Fatalf("All len = %d", len(all))
+	}
+	if all[0].Sig != "0|1" || all[0].Node != 2 || all[1].Node != 5 || all[2].Sig != "2|3" {
+		t.Errorf("All order wrong: %v", all)
+	}
+}
+
+func TestInputsFor(t *testing.T) {
+	_, q, rt := setup()
+	r := NewRegistry()
+	// Usable: covers streams {0,1} of q.
+	r.Advertise(Ad{Sig: query.SigOf([]query.StreamID{0, 1}), Streams: []query.StreamID{0, 1}, Node: 4, Rate: 99})
+	// Skipped: single stream.
+	r.Advertise(Ad{Sig: "2", Streams: []query.StreamID{2}, Node: 4, Rate: 5})
+	// Skipped: stream 9 not in query.
+	r.Advertise(Ad{Sig: "0|9", Streams: []query.StreamID{0, 9}, Node: 4, Rate: 5})
+	ins := r.InputsFor(q, rt, nil)
+	if len(ins) != 1 {
+		t.Fatalf("InputsFor = %v", ins)
+	}
+	in := ins[0]
+	if !in.Derived || in.Loc != 4 || in.Mask != 0b011 {
+		t.Errorf("input = %+v", in)
+	}
+	// Rate must come from the rate table, not the ad.
+	if in.Rate != rt.Rate(0b011) {
+		t.Errorf("rate = %g, want %g", in.Rate, rt.Rate(0b011))
+	}
+	// within filter excludes the node.
+	none := r.InputsFor(q, rt, func(n netgraph.NodeID) bool { return n != 4 })
+	if len(none) != 0 {
+		t.Errorf("filtered InputsFor = %v", none)
+	}
+}
+
+func TestAdvertisePlan(t *testing.T) {
+	_, q, rt := setup()
+	l0 := query.Leaf(query.Input{Mask: 0b001, Rate: rt.Rate(0b001), Loc: 0, Sig: q.SigOf(0b001)})
+	l1 := query.Leaf(query.Input{Mask: 0b010, Rate: rt.Rate(0b010), Loc: 1, Sig: q.SigOf(0b010)})
+	l2 := query.Leaf(query.Input{Mask: 0b100, Rate: rt.Rate(0b100), Loc: 2, Sig: q.SigOf(0b100)})
+	j1 := query.Join(l0, l1, 3, rt.Rate(0b011))
+	root := query.Join(j1, l2, 5, rt.Rate(0b111))
+
+	r := NewRegistry()
+	if added := r.AdvertisePlan(q, root); added != 2 {
+		t.Errorf("AdvertisePlan added %d, want 2", added)
+	}
+	if got := r.Lookup(q.SigOf(0b011)); len(got) != 1 || got[0].Node != 3 {
+		t.Errorf("sub-join ad = %v", got)
+	}
+	if got := r.Lookup(q.SigOf(0b111)); len(got) != 1 || got[0].Node != 5 {
+		t.Errorf("root ad = %v", got)
+	}
+	// Re-advertising the same plan adds nothing.
+	if added := r.AdvertisePlan(q, root); added != 0 {
+		t.Errorf("re-advertise added %d", added)
+	}
+}

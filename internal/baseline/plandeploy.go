@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"fmt"
+
+	"hnp/internal/ads"
+	"hnp/internal/core"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// PlanThenDeploy is the conventional phased approach of Figure 1(a): pick
+// the join order by selectivities alone at "compile time", then deploy
+// that fixed tree with an optimal placement (and post-hoc reuse when a
+// registry is given). Its gap to the joint optimizers quantifies the
+// paper's Figure 2 claim.
+func PlanThenDeploy(g *netgraph.Graph, paths *netgraph.Paths, cat *query.Catalog,
+	q *query.Query, reg *ads.Registry) (core.Result, error) {
+	rt := query.BuildRates(cat, q)
+	tree, err := SelectivityTree(core.BaseInputs(cat, q, rt), rt, q.All())
+	if err != nil {
+		return core.Result{}, fmt.Errorf("plan-then-deploy: %w", err)
+	}
+	placed, cost, err := PlaceFixedTree(tree, q, AllNodes(g), paths.Dist, q.Sink, reg)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("plan-then-deploy: %w", err)
+	}
+	if err := placed.Validate(); err != nil {
+		return core.Result{}, fmt.Errorf("plan-then-deploy: invalid plan: %w", err)
+	}
+	// The phased search considers one tree but all placements of it:
+	// N^(K-1) deployments.
+	considered := 1.0
+	for i := 1; i < q.K(); i++ {
+		considered *= float64(g.NumNodes())
+	}
+	return core.Result{
+		Plan:            placed,
+		Cost:            cost,
+		PlansConsidered: considered,
+		ClustersPlanned: 1,
+		LevelsVisited:   1,
+	}, nil
+}
+
+// RandomPlacement deploys the selectivity-optimal tree with every operator
+// on a uniformly random node — the floor any placement heuristic must
+// beat. The rng must be supplied for reproducibility.
+func RandomPlacement(g *netgraph.Graph, paths *netgraph.Paths, cat *query.Catalog,
+	q *query.Query, pick func(n int) int) (core.Result, error) {
+	rt := query.BuildRates(cat, q)
+	tree, err := SelectivityTree(core.BaseInputs(cat, q, rt), rt, q.All())
+	if err != nil {
+		return core.Result{}, fmt.Errorf("random: %w", err)
+	}
+	var place func(n *query.PlanNode) *query.PlanNode
+	place = func(n *query.PlanNode) *query.PlanNode {
+		if n.IsLeaf() {
+			return query.Leaf(*n.In)
+		}
+		return query.Join(place(n.L), place(n.R),
+			netgraph.NodeID(pick(g.NumNodes())), n.Rate)
+	}
+	placed := place(tree)
+	return core.Result{
+		Plan:            placed,
+		Cost:            placed.Cost(paths.Dist, q.Sink),
+		PlansConsidered: 1,
+		ClustersPlanned: 1,
+		LevelsVisited:   1,
+	}, nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"hnp/internal/query"
+)
+
+// splitComponents must group connected same-member operators and expose
+// exactly the streams crossing component boundaries.
+func TestSplitComponents(t *testing.T) {
+	l0 := query.Leaf(query.Input{Mask: 1, Rate: 1, Loc: 0, Sig: "0"})
+	l1 := query.Leaf(query.Input{Mask: 2, Rate: 1, Loc: 1, Sig: "1"})
+	l2 := query.Leaf(query.Input{Mask: 4, Rate: 1, Loc: 2, Sig: "2"})
+	l3 := query.Leaf(query.Input{Mask: 8, Rate: 1, Loc: 3, Sig: "3"})
+	// ((l0 ⋈@A l1) ⋈@A (l2 ⋈@B l3)): two ops at member A, one at member B.
+	jB := query.Join(l2, l3, 20, 1)
+	jA1 := query.Join(l0, l1, 10, 1)
+	root := query.Join(jA1, jB, 10, 1)
+
+	cs := splitComponents(root)
+	if len(cs.all) != 2 {
+		t.Fatalf("components = %d", len(cs.all))
+	}
+	rootComp := cs.byRoot[root]
+	if rootComp == nil || rootComp.member != 10 || rootComp.consumer != nil {
+		t.Fatalf("root component %+v", rootComp)
+	}
+	// Root component externals: l0, l1 (leaves) and jB (other member).
+	if len(rootComp.externalChildren) != 3 {
+		t.Fatalf("externals = %d", len(rootComp.externalChildren))
+	}
+	bComp := cs.byRoot[jB]
+	if bComp == nil || bComp.member != 20 || bComp.consumer != root {
+		t.Fatalf("B component %+v", bComp)
+	}
+	if len(bComp.externalChildren) != 2 {
+		t.Errorf("B externals = %d", len(bComp.externalChildren))
+	}
+}

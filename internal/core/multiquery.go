@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"hnp/internal/ads"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// This file implements the paper's multi-query extension: "The Top-Down
+// algorithm can be easily extended to perform multi-query optimization by
+// constructing a consolidated query ... and then applying the algorithm to
+// this consolidated query" (§2.2, and analogously §2.3 for Bottom-Up).
+// OptimizeBatch realizes the consolidation as iterated re-planning of the
+// batch against its own advertisements: every member sees every other
+// member's operators as reusable derived streams, a plan change is kept
+// only if it lowers the batch's true total cost (shared operators counted
+// once), and the process repeats to a fixed point.
+
+// PlanFunc plans one query against a registry of reusable streams — the
+// signature shared by TopDown, BottomUp and Optimal once partially
+// applied.
+type PlanFunc func(q *query.Query, reg *ads.Registry) (Result, error)
+
+// Batch is a jointly optimized set of continuous queries.
+type Batch struct {
+	Queries []*query.Query
+	// Plans holds each query's final operator tree; derived leaves may
+	// reference operators computed by other batch members.
+	Plans []*query.PlanNode
+	// Results carries each query's last planning result (the Cost field
+	// there is the marginal cost as seen during planning; TotalCost below
+	// is the authoritative batch figure).
+	Results []Result
+	// TotalCost is the communication cost per unit time of the whole
+	// deployment with every shared operator and transfer counted once.
+	TotalCost float64
+	// SharedOps counts operators used by more than one batch member.
+	SharedOps int
+	// PlansConsidered sums the search-space sizes of every planning call
+	// made while optimizing the batch.
+	PlansConsidered float64
+	// Passes is the number of improvement passes executed (excluding the
+	// sequential warm start).
+	Passes int
+}
+
+// OptimizeBatch jointly optimizes a batch of queries with the given
+// per-query planner. external carries pre-existing advertisements (from
+// earlier deployments); it may be nil. passes bounds the improvement
+// rounds after the sequential warm start.
+func OptimizeBatch(pf PlanFunc, dist query.DistFunc,
+	qs []*query.Query, external *ads.Registry, passes int) (*Batch, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	b := &Batch{
+		Queries: qs,
+		Plans:   make([]*query.PlanNode, len(qs)),
+		Results: make([]Result, len(qs)),
+	}
+
+	// registryExcept assembles the streams visible to query i: external
+	// ads plus the operators of every *other* member's current plan (a
+	// query must not "reuse" work that exists only because of itself).
+	registryExcept := func(i int) *ads.Registry {
+		reg := ads.NewRegistry()
+		reg.AddAll(external)
+		for j, p := range b.Plans {
+			if j == i || p == nil {
+				continue
+			}
+			reg.AdvertisePlan(qs[j], p)
+		}
+		return reg
+	}
+
+	// Sequential warm start: classic incremental deployment.
+	for i, q := range qs {
+		res, err := pf(q, registryExcept(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: batch warm start, query %d: %w", q.ID, err)
+		}
+		b.Plans[i] = res.Plan
+		b.Results[i] = res
+		b.PlansConsidered += res.PlansConsidered
+	}
+	total, shared, err := BatchCost(dist, qs, b.Plans, external)
+	if err != nil {
+		return nil, fmt.Errorf("core: batch warm start: %w", err)
+	}
+	b.TotalCost, b.SharedOps = total, shared
+
+	// Improvement passes: re-plan each member against the rest of the
+	// batch; keep a new plan only if the true batch cost drops. BatchCost
+	// also rejects plans that would orphan a stream some other member
+	// reuses, so referential integrity is preserved by construction.
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for i, q := range qs {
+			res, err := pf(q, registryExcept(i))
+			if err != nil {
+				continue // an unplannable variation is simply not adopted
+			}
+			b.PlansConsidered += res.PlansConsidered
+			old, oldRes := b.Plans[i], b.Results[i]
+			b.Plans[i] = res.Plan
+			b.Results[i] = res
+			newTotal, newShared, err := BatchCost(dist, qs, b.Plans, external)
+			if err != nil || newTotal >= b.TotalCost-1e-9 {
+				b.Plans[i], b.Results[i] = old, oldRes
+				continue
+			}
+			b.TotalCost, b.SharedOps = newTotal, newShared
+			improved = true
+		}
+		b.Passes = pass + 1
+		if !improved {
+			break
+		}
+	}
+	return b, nil
+}
+
+// opIdent identifies a deployed operator or stream: its canonical
+// signature and the node materializing it.
+type opIdent struct {
+	sig  string
+	node netgraph.NodeID
+}
+
+// BatchCost prices a set of plans as one deployment: each distinct
+// operator (signature at node) is computed once, each distinct transfer
+// edge is paid once, and each query pays its own delivery edge. It also
+// verifies referential integrity: every derived leaf must resolve to an
+// operator computed inside the batch or advertised externally. The second
+// result counts operators used by more than one query.
+func BatchCost(dist query.DistFunc, qs []*query.Query,
+	plans []*query.PlanNode, external *ads.Registry) (float64, int, error) {
+	if len(qs) != len(plans) {
+		return 0, 0, fmt.Errorf("core: %d queries but %d plans", len(qs), len(plans))
+	}
+	computed := map[opIdent]bool{}
+	usedBy := map[opIdent]int{}
+	type edge struct {
+		from opIdent
+		loc  netgraph.NodeID
+	}
+	edges := map[edge]float64{}
+	var derived []opIdent
+
+	for qi, plan := range plans {
+		if plan == nil {
+			return 0, 0, fmt.Errorf("core: query %d has no plan", qs[qi].ID)
+		}
+		q := qs[qi]
+		seen := map[opIdent]bool{}
+		var walk func(n *query.PlanNode) opIdent
+		walk = func(n *query.PlanNode) opIdent {
+			id := opIdent{sig: q.SigOf(n.Mask), node: n.Loc}
+			if n.IsLeaf() {
+				if n.In.Derived {
+					derived = append(derived, id)
+					if !seen[id] {
+						seen[id] = true
+						usedBy[id]++
+					}
+				}
+				return id
+			}
+			if n.IsUnary() {
+				id = opIdent{sig: n.Unary.Sig, node: n.Loc}
+				l := walk(n.L)
+				computed[id] = true
+				if !seen[id] {
+					seen[id] = true
+					usedBy[id]++
+				}
+				edges[edge{l, n.Loc}] = n.L.Rate * dist(n.L.Loc, n.Loc)
+				return id
+			}
+			l := walk(n.L)
+			r := walk(n.R)
+			computed[id] = true
+			if !seen[id] {
+				seen[id] = true
+				usedBy[id]++
+			}
+			edges[edge{l, n.Loc}] = n.L.Rate * dist(n.L.Loc, n.Loc)
+			edges[edge{r, n.Loc}] = n.R.Rate * dist(n.R.Loc, n.Loc)
+			return id
+		}
+		root := walk(plan)
+		// Delivery is per query (each sink is a distinct consumer).
+		edges[edge{opIdent{sig: root.sig + "->" + fmt.Sprint(q.ID), node: root.node}, q.Sink}] =
+			plan.Rate * dist(plan.Loc, q.Sink)
+	}
+
+	// Referential integrity for reused streams.
+	for _, id := range derived {
+		if computed[id] {
+			continue
+		}
+		ok := false
+		if external != nil {
+			for _, ad := range external.Lookup(id.sig) {
+				if ad.Node == id.node {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return 0, 0, fmt.Errorf("core: reused stream %s@%d is computed nowhere", id.sig, id.node)
+		}
+	}
+
+	total := 0.0
+	for _, c := range edges {
+		total += c
+	}
+	shared := 0
+	for id, n := range usedBy {
+		if computed[id] && n > 1 {
+			shared++
+		}
+	}
+	return total, shared, nil
+}

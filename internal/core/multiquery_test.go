@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hnp/internal/ads"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+func batchPlanner(w *world) PlanFunc {
+	return func(q *query.Query, reg *ads.Registry) (Result, error) {
+		return TopDown(w.h, w.cat, q, reg)
+	}
+}
+
+// sequentialCost deploys the queries one at a time with reuse and prices
+// the result with the same batch accounting, for apples-to-apples
+// comparison.
+func sequentialCost(t *testing.T, w *world, qs []*query.Query) float64 {
+	t.Helper()
+	reg := ads.NewRegistry()
+	plans := make([]*query.PlanNode, len(qs))
+	for i, q := range qs {
+		res, err := TopDown(w.h, w.cat, q, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = res.Plan
+		reg.AdvertisePlan(q, res.Plan)
+	}
+	total, _, err := BatchCost(w.paths.Dist, qs, plans, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func TestOptimizeBatchNeverWorseThanSequential(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		w := makeWorld(t, seed, 64, 8, 8, 10) // 8 streams: heavy overlap
+		b, err := OptimizeBatch(batchPlanner(w), w.paths.Dist, w.qs, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := sequentialCost(t, w, w.qs)
+		if b.TotalCost > seq+1e-6 {
+			t.Errorf("seed %d: batch %g worse than sequential %g", seed, b.TotalCost, seq)
+		}
+		if b.TotalCost <= 0 {
+			t.Errorf("seed %d: non-positive batch cost", seed)
+		}
+		for i, p := range b.Plans {
+			if p == nil {
+				t.Fatalf("seed %d: query %d unplanned", seed, i)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("seed %d: query %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+func TestOptimizeBatchSharesOperators(t *testing.T) {
+	w := makeWorld(t, 9, 64, 8, 6, 8) // 6 streams, 8 queries: forced overlap
+	b, err := OptimizeBatch(batchPlanner(w), w.paths.Dist, w.qs, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SharedOps == 0 {
+		t.Error("no shared operators in a heavily overlapping batch")
+	}
+	if b.Passes < 1 {
+		t.Error("no improvement passes recorded")
+	}
+}
+
+func TestOptimizeBatchIdenticalQueries(t *testing.T) {
+	// Two identical queries to different sinks: the batch must compute the
+	// join once; total cost stays below twice a solo deployment.
+	w := makeWorld(t, 10, 64, 8, 10, 0)
+	q1, err := query.NewQuery(0, []query.StreamID{1, 3, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := query.NewQuery(1, []query.StreamID{1, 3, 5}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OptimizeBatch(batchPlanner(w), w.paths.Dist, []*query.Query{q1, q2}, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := TopDown(w.h, w.cat, q1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalCost >= 2*solo.Cost {
+		t.Errorf("batch %g not cheaper than 2x solo %g", b.TotalCost, 2*solo.Cost)
+	}
+	if b.SharedOps == 0 {
+		t.Error("identical queries share nothing")
+	}
+}
+
+func TestOptimizeBatchErrors(t *testing.T) {
+	w := makeWorld(t, 11, 32, 4, 5, 1)
+	if _, err := OptimizeBatch(batchPlanner(w), w.paths.Dist, nil, nil, 2); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestBatchCostCountsSharedOnce(t *testing.T) {
+	dist := func(a, b netgraph.NodeID) float64 { return math.Abs(float64(a - b)) }
+	q1, _ := query.NewQuery(0, []query.StreamID{0, 1}, 5)
+	q2, _ := query.NewQuery(1, []query.StreamID{0, 1}, 9)
+	// q1 computes 0⋈1 at node 2; q2 reuses it.
+	l0 := query.Leaf(query.Input{Mask: 1, Rate: 10, Loc: 0, Sig: query.SigOf([]query.StreamID{0})})
+	l1 := query.Leaf(query.Input{Mask: 2, Rate: 10, Loc: 4, Sig: query.SigOf([]query.StreamID{1})})
+	join := query.Join(l0, l1, 2, 3)
+	reuse := query.Leaf(query.Input{
+		Mask: 0b11, Rate: 3, Loc: 2, Derived: true, Sig: query.SigOf([]query.StreamID{0, 1}),
+	})
+	total, shared, err := BatchCost(dist, []*query.Query{q1, q2},
+		[]*query.PlanNode{join, reuse}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges: 0->2 (10*2), 4->2 (10*2), delivery q1 2->5 (3*3), q2 2->9 (3*7).
+	want := 20.0 + 20 + 9 + 21
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("total = %g, want %g", total, want)
+	}
+	if shared != 1 {
+		t.Errorf("shared = %d, want 1", shared)
+	}
+}
+
+func TestBatchCostDetectsDanglingReuse(t *testing.T) {
+	dist := func(a, b netgraph.NodeID) float64 { return 1 }
+	q, _ := query.NewQuery(0, []query.StreamID{0, 1}, 5)
+	orphan := query.Leaf(query.Input{
+		Mask: 0b11, Rate: 3, Loc: 2, Derived: true, Sig: query.SigOf([]query.StreamID{0, 1}),
+	})
+	if _, _, err := BatchCost(dist, []*query.Query{q}, []*query.PlanNode{orphan}, nil); err == nil {
+		t.Error("dangling derived leaf accepted")
+	}
+	// The same leaf resolves once an external registry advertises it.
+	ext := ads.NewRegistry()
+	ext.Advertise(ads.Ad{Sig: query.SigOf([]query.StreamID{0, 1}), Streams: []query.StreamID{0, 1}, Node: 2, Rate: 3})
+	if _, _, err := BatchCost(dist, []*query.Query{q}, []*query.PlanNode{orphan}, ext); err != nil {
+		t.Errorf("externally backed reuse rejected: %v", err)
+	}
+	// Mismatched lengths.
+	if _, _, err := BatchCost(dist, []*query.Query{q}, nil, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Nil plan.
+	if _, _, err := BatchCost(dist, []*query.Query{q}, []*query.PlanNode{nil}, nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+}

@@ -1,0 +1,250 @@
+// Package core implements the paper's optimization algorithms: the joint
+// plan+placement search performed inside one cluster (the building block
+// both heuristics share), the Top-Down and Bottom-Up hierarchical
+// algorithms, and the exhaustive/DP optimal baseline.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// Problem is one joint plan+placement search: cover Goal by joining the
+// available Inputs, placing every operator on one of Sites, minimizing
+// communication cost per unit time under Dist. Derived inputs model
+// operator reuse: they arrive free of upstream cost.
+type Problem struct {
+	// Inputs are the available streams. Inputs whose mask is not a subset
+	// of Goal are ignored. Several inputs may cover the same mask (e.g. a
+	// base pair and an advertised derived stream); the search picks freely.
+	Inputs []query.Input
+	// Sites are the candidate processing nodes for operators.
+	Sites []netgraph.NodeID
+	// Dist measures traversal cost between physical nodes. It must be a
+	// metric (shortest-path costs are); relaying through intermediate
+	// sites is therefore never modeled explicitly.
+	Dist query.DistFunc
+	// Rates gives the expected output rate of every sub-join.
+	Rates query.RateTable
+	// Goal is the set of source positions the plan must cover.
+	Goal query.Mask
+	// Sink receives the root output when Deliver is set; with Deliver
+	// false the root's location is chosen to minimize internal cost only
+	// and no delivery edge is costed.
+	Sink    netgraph.NodeID
+	Deliver bool
+	// Penalty, when non-nil, adds a processing-load term for placing an
+	// operator with the given total input rate on a node — how the
+	// optimizers avoid overloaded nodes (load.Tracker builds these).
+	Penalty func(v netgraph.NodeID, inRate float64) float64
+}
+
+// Solve finds the minimum-cost plan for p using dynamic programming over
+// source subsets: avail[S][v] is the cheapest way to have the sub-join S
+// materialized at site v, either shipped from an input or produced by an
+// operator placed at some site. The DP examines exactly the solutions an
+// exhaustive tree×placement enumeration would (validated against the
+// naive enumerator in tests) at a fraction of the time.
+func Solve(p Problem) (*query.PlanNode, float64, error) {
+	if p.Goal == 0 {
+		return nil, 0, fmt.Errorf("core: empty goal")
+	}
+	// Collect usable inputs.
+	var ins []query.Input
+	for _, in := range p.Inputs {
+		if in.Mask != 0 && in.Mask&p.Goal == in.Mask {
+			ins = append(ins, in)
+		}
+	}
+	covered := query.Mask(0)
+	for _, in := range ins {
+		covered |= in.Mask
+	}
+	if covered != p.Goal {
+		return nil, 0, fmt.Errorf("core: goal %b not coverable (inputs cover %b)", p.Goal, covered)
+	}
+
+	sites := dedupeSites(p.Sites)
+	m := len(sites)
+	if m == 0 {
+		return nil, 0, fmt.Errorf("core: no candidate sites")
+	}
+
+	size := 1 << uint(bits.Len32(uint32(p.Goal)))
+	const inf = math.MaxFloat64
+	avail := make([][]float64, size)  // avail[S][v]
+	availCh := make([][]int32, size)  // >=0: input index; <0: -(u+2) op at site u
+	opCost := make([][]float64, size) // op placed at v
+	opSplit := make([][]query.Mask, size)
+
+	newF := func() []float64 {
+		f := make([]float64, m)
+		for i := range f {
+			f[i] = inf
+		}
+		return f
+	}
+
+	// Enumerate submasks of Goal in increasing popcount order.
+	subs := submasksByPopcount(p.Goal)
+	for _, s := range subs {
+		av, ch := newF(), make([]int32, m)
+		for i := range ch {
+			ch[i] = math.MinInt32
+		}
+		// Direct inputs.
+		for i, in := range ins {
+			if in.Mask != s {
+				continue
+			}
+			for v, sv := range sites {
+				if c := in.Rate * p.Dist(in.Loc, sv); c < av[v] {
+					av[v], ch[v] = c, int32(i)
+				}
+			}
+		}
+		if s.Count() >= 2 {
+			oc, os := newF(), make([]query.Mask, m)
+			low := s & -s
+			for v := 0; v < m; v++ {
+				best, bestSplit := inf, query.Mask(0)
+				for m1 := (s - 1) & s; m1 > 0; m1 = (m1 - 1) & s {
+					if m1&low == 0 {
+						continue // canonical: left part holds the lowest bit
+					}
+					m2 := s ^ m1
+					a1, a2 := avail[m1][v], avail[m2][v]
+					if a1 == inf || a2 == inf {
+						continue
+					}
+					c := a1 + a2
+					if p.Penalty != nil {
+						c += p.Penalty(sites[v], p.Rates.Rate(m1)+p.Rates.Rate(m2))
+					}
+					if c < best {
+						best, bestSplit = c, m1
+					}
+				}
+				oc[v], os[v] = best, bestSplit
+			}
+			opCost[s], opSplit[s] = oc, os
+			// Fold "operator at u, result shipped to v" into avail.
+			rate := p.Rates.Rate(s)
+			for u := 0; u < m; u++ {
+				if oc[u] == inf {
+					continue
+				}
+				for v := 0; v < m; v++ {
+					if c := oc[u] + rate*p.Dist(sites[u], sites[v]); c < av[v] {
+						av[v], ch[v] = c, int32(-(u + 2))
+					}
+				}
+			}
+		}
+		avail[s], availCh[s] = av, ch
+	}
+
+	// Choose the root realization.
+	rate := p.Rates.Rate(p.Goal)
+	best := inf
+	bestInput, bestSite := -1, -1
+	for i, in := range ins {
+		if in.Mask != p.Goal {
+			continue
+		}
+		c := 0.0
+		if p.Deliver {
+			c = in.Rate * p.Dist(in.Loc, p.Sink)
+		}
+		if c < best {
+			best, bestInput, bestSite = c, i, -1
+		}
+	}
+	if oc := opCost[p.Goal]; oc != nil {
+		for u := 0; u < m; u++ {
+			if oc[u] == inf {
+				continue
+			}
+			c := oc[u]
+			if p.Deliver {
+				c += rate * p.Dist(sites[u], p.Sink)
+			}
+			if c < best {
+				best, bestInput, bestSite = c, -1, u
+			}
+		}
+	}
+	if best == inf {
+		return nil, 0, fmt.Errorf("core: goal %b unachievable from available inputs", p.Goal)
+	}
+
+	r := rebuilder{p: p, ins: ins, sites: sites, avail: avail, availCh: availCh, opSplit: opSplit}
+	var root *query.PlanNode
+	if bestInput >= 0 {
+		root = query.Leaf(ins[bestInput])
+	} else {
+		root = r.buildOp(p.Goal, bestSite)
+	}
+	return root, best, nil
+}
+
+type rebuilder struct {
+	p       Problem
+	ins     []query.Input
+	sites   []netgraph.NodeID
+	avail   [][]float64
+	availCh [][]int32
+	opSplit [][]query.Mask
+}
+
+// buildOp reconstructs the operator producing sub-join s placed at site
+// index u.
+func (r *rebuilder) buildOp(s query.Mask, u int) *query.PlanNode {
+	m1 := r.opSplit[s][u]
+	m2 := s ^ m1
+	l := r.buildAvail(m1, u)
+	rt := r.buildAvail(m2, u)
+	return query.Join(l, rt, r.sites[u], r.p.Rates.Rate(s))
+}
+
+// buildAvail reconstructs the realization of sub-join s whose output feeds
+// a consumer at site index v.
+func (r *rebuilder) buildAvail(s query.Mask, v int) *query.PlanNode {
+	ch := r.availCh[s][v]
+	if ch >= 0 {
+		return query.Leaf(r.ins[ch])
+	}
+	return r.buildOp(s, int(-(ch + 2)))
+}
+
+func dedupeSites(sites []netgraph.NodeID) []netgraph.NodeID {
+	seen := map[netgraph.NodeID]bool{}
+	out := make([]netgraph.NodeID, 0, len(sites))
+	for _, s := range sites {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// submasksByPopcount lists all non-empty submasks of goal, smallest
+// cardinality first, so DP dependencies are always ready.
+func submasksByPopcount(goal query.Mask) []query.Mask {
+	var subs []query.Mask
+	for s := goal; s > 0; s = (s - 1) & goal {
+		subs = append(subs, s)
+	}
+	// Insertion sort by popcount (lists are tiny: 2^K−1 entries).
+	for i := 1; i < len(subs); i++ {
+		for j := i; j > 0 && subs[j].Count() < subs[j-1].Count(); j-- {
+			subs[j], subs[j-1] = subs[j-1], subs[j]
+		}
+	}
+	return subs
+}

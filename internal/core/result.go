@@ -1,0 +1,95 @@
+package core
+
+import (
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// Result is the outcome of one optimizer run for one query.
+type Result struct {
+	// Plan is the chosen operator tree with physical placements.
+	Plan *query.PlanNode
+	// Cost is the communication cost per unit time of the plan measured
+	// on the actual network (not the hierarchy's estimates), including
+	// delivery to the sink.
+	Cost float64
+	// PlansConsidered is the size of the search space examined, counted
+	// as the nominal exhaustive tree×placement enumeration the algorithm
+	// performs in each cluster it plans in (the quantity Figure 9 plots).
+	PlansConsidered float64
+	// ClustersPlanned counts cluster-level searches performed.
+	ClustersPlanned int
+	// LevelsVisited counts hierarchy levels traversed by the deployment
+	// protocol; the IFLOW runtime derives protocol latency from it.
+	LevelsVisited int
+	// Trace is the tree of planning steps the deployment protocol
+	// performed: which coordinator planned, at which level, examining how
+	// many candidate solutions, and which plannings it triggered next.
+	// The IFLOW runtime replays it to measure deployment time.
+	Trace *PlanStep
+}
+
+// PlanStep is one coordinator-local planning action in a deployment.
+type PlanStep struct {
+	// Level is the hierarchy level the planning cluster lives at.
+	Level int
+	// Coordinator is the physical node that performed the search.
+	Coordinator netgraph.NodeID
+	// Plans is the nominal number of solutions examined.
+	Plans float64
+	// Children are the plannings triggered by this step (views handed to
+	// lower-level coordinators for Top-Down, the next level's rewrite for
+	// Bottom-Up).
+	Children []*PlanStep
+}
+
+// BaseInputs builds the planner inputs for a query's base streams, located
+// at their source nodes.
+func BaseInputs(cat *query.Catalog, q *query.Query, rt query.RateTable) []query.Input {
+	out := make([]query.Input, q.K())
+	for i, id := range q.Sources {
+		m := query.Mask(1 << uint(i))
+		out[i] = query.Input{
+			Mask: m,
+			Rate: rt.Rate(m),
+			Loc:  cat.Stream(id).Source,
+			Sig:  q.SigOf(m),
+		}
+	}
+	return out
+}
+
+// substituteLeaves replaces every non-derived leaf whose mask and location
+// match an assembled subtree with that subtree, linking independently
+// planned plan fragments into one tree. It returns the (possibly new)
+// root.
+func substituteLeaves(root *query.PlanNode, subs map[query.Mask]*query.PlanNode) *query.PlanNode {
+	if root == nil {
+		return nil
+	}
+	if root.IsLeaf() {
+		if sub, ok := subs[root.Mask]; ok && !root.In.Derived && root.In.Loc == sub.Loc {
+			return sub
+		}
+		return root
+	}
+	root.L = substituteLeaves(root.L, subs)
+	root.R = substituteLeaves(root.R, subs)
+	return root
+}
+
+func nodeSet(nodes []netgraph.NodeID) map[netgraph.NodeID]bool {
+	s := make(map[netgraph.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		s[n] = true
+	}
+	return s
+}
+
+func unionMask(inputs []query.Input) query.Mask {
+	var m query.Mask
+	for _, in := range inputs {
+		m |= in.Mask
+	}
+	return m
+}

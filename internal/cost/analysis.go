@@ -1,0 +1,87 @@
+// Package cost provides the closed-form search-space and sub-optimality
+// analysis of the paper: the exhaustive solution-space size (Lemma 1), the
+// hierarchical reduction factor β (Theorems 2 and 4), and the Top-Down
+// sub-optimality bound (Theorem 3).
+package cost
+
+import (
+	"math"
+
+	"hnp/internal/query"
+)
+
+// Lemma1 returns O_exhaustive, the size of the exhaustive joint
+// plan+placement search space for a query over K sources on N nodes:
+//
+//	O_exhaustive = K(K−1)(K+1)/6 × N^(K−1)
+//
+// Values grow astronomically, hence the float64 return.
+func Lemma1(k, n int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	trees := float64(k) * float64(k-1) * float64(k+1) / 6
+	return trees * math.Pow(float64(n), float64(k-1))
+}
+
+// Beta returns the Theorem 2/4 bound on the ratio of the hierarchical
+// algorithms' search space to the exhaustive one:
+//
+//	β = h × (max_cs / N)^(K−1)
+func Beta(k, n, maxCS, height int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return float64(height) * math.Pow(float64(maxCS)/float64(n), float64(k-1))
+}
+
+// HierarchicalSpaceBound returns β·O_exhaustive, the worst-case number of
+// solutions examined by Top-Down or Bottom-Up.
+func HierarchicalSpaceBound(k, n, maxCS, height int) float64 {
+	return Beta(k, n, maxCS, height) * Lemma1(k, n)
+}
+
+// ClusterSpace returns the nominal size of the exhaustive search inside a
+// single cluster: all join trees over k inputs times all placements of the
+// k−1 operators on m member nodes. Both hierarchical algorithms report
+// their "plans considered" as the sum of this quantity over every cluster
+// they plan in, which is what Figure 9 plots.
+func ClusterSpace(k, m int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return float64(query.NumTrees(k)) * math.Pow(float64(m), float64(k-1))
+}
+
+// Theorem3Bound returns the additive sub-optimality bound of the Top-Down
+// algorithm: Σ_{e∈E_Q} s_e × Σ_{i<h} 2·d_i, where edgeRates are the stream
+// rates s_e flowing on the chosen query tree's edges and sumD is the
+// hierarchy's Σ 2·d_i at the top level (Hierarchy.SumD(height)).
+func Theorem3Bound(edgeRates []float64, sumD float64) float64 {
+	total := 0.0
+	for _, s := range edgeRates {
+		total += s * sumD
+	}
+	return total
+}
+
+// EdgeRates extracts the stream rates on every edge of a plan tree,
+// including the root→sink delivery edge — the s_k terms of Theorem 3.
+func EdgeRates(root *query.PlanNode) []float64 {
+	var out []float64
+	var walk func(n *query.PlanNode)
+	walk = func(n *query.PlanNode) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		walk(n.L)
+		out = append(out, n.L.Rate)
+		if n.R != nil {
+			walk(n.R)
+			out = append(out, n.R.Rate)
+		}
+	}
+	walk(root)
+	out = append(out, root.Rate)
+	return out
+}

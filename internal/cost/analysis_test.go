@@ -1,0 +1,84 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"hnp/internal/query"
+)
+
+func TestLemma1(t *testing.T) {
+	// K=2: 2*1*3/6 * N = N.
+	if got := Lemma1(2, 64); got != 64 {
+		t.Errorf("Lemma1(2,64) = %g", got)
+	}
+	// K=4, N=10: 4*3*5/6 * 10^3 = 10 * 1000.
+	if got := Lemma1(4, 10); got != 10000 {
+		t.Errorf("Lemma1(4,10) = %g", got)
+	}
+	if got := Lemma1(1, 100); got != 1 {
+		t.Errorf("Lemma1(1,100) = %g", got)
+	}
+}
+
+func TestBetaPaperExample(t *testing.T) {
+	// The paper: query over 4 streams, 1000 nodes, max_cs 10 -> β ≈ .015
+	// with h = log_10(1000) = 3.
+	got := Beta(4, 1000, 10, 3)
+	// h*(max_cs/N)^(K-1) = 3 * (0.01)^3 = 3e-6.
+	if math.Abs(got-3e-6) > 1e-15 {
+		t.Errorf("Beta = %g, want 3e-6", got)
+	}
+	if Beta(1, 100, 10, 2) != 1 {
+		t.Error("Beta(K=1) != 1")
+	}
+}
+
+func TestBetaShrinksExponentially(t *testing.T) {
+	// As max_cs/N decreases linearly, β decreases exponentially in K-1.
+	b1 := Beta(5, 100, 50, 2)
+	b2 := Beta(5, 100, 25, 2)
+	if math.Abs(b2/b1-math.Pow(0.5, 4)) > 1e-12 {
+		t.Errorf("ratio %g, want %g", b2/b1, math.Pow(0.5, 4))
+	}
+}
+
+func TestHierarchicalSpaceBoundBelowExhaustive(t *testing.T) {
+	// For max_cs << N the bound must be orders of magnitude below Lemma 1.
+	ex := Lemma1(4, 1024)
+	hb := HierarchicalSpaceBound(4, 1024, 32, 2)
+	if hb >= ex/100 {
+		t.Errorf("bound %g not ≪ exhaustive %g", hb, ex)
+	}
+}
+
+func TestClusterSpace(t *testing.T) {
+	// 3 inputs on 4 sites: 3 trees × 4^2 placements = 48.
+	if got := ClusterSpace(3, 4); got != 48 {
+		t.Errorf("ClusterSpace(3,4) = %g", got)
+	}
+	if got := ClusterSpace(1, 9); got != 1 {
+		t.Errorf("ClusterSpace(1,9) = %g", got)
+	}
+}
+
+func TestTheorem3BoundAndEdgeRates(t *testing.T) {
+	l0 := query.Leaf(query.Input{Mask: 0b01, Rate: 10, Loc: 0})
+	l1 := query.Leaf(query.Input{Mask: 0b10, Rate: 20, Loc: 1})
+	root := query.Join(l0, l1, 2, 4)
+	rates := EdgeRates(root)
+	// Edges: l0->join (10), l1->join (20), root->sink (4).
+	if len(rates) != 3 {
+		t.Fatalf("EdgeRates = %v", rates)
+	}
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	if sum != 34 {
+		t.Errorf("edge rate sum = %g, want 34", sum)
+	}
+	if got := Theorem3Bound(rates, 2); got != 68 {
+		t.Errorf("Theorem3Bound = %g, want 68", got)
+	}
+}

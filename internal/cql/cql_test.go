@@ -1,0 +1,166 @@
+package cql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hnp/internal/query"
+)
+
+func catalog() *query.Catalog {
+	cat := query.NewCatalog(0.01)
+	cat.Add("WEATHER", 18, 5)
+	cat.Add("FLIGHTS", 60, 12)
+	cat.Add("CHECK-INS", 45, 13)
+	return cat
+}
+
+// The paper's Q1, in the supported grammar.
+const q1 = `SELECT FLIGHTS.STATUS, WEATHER.FORECAST, CHECK-INS.STATUS
+FROM FLIGHTS, WEATHER, CHECK-INS
+WHERE FLIGHTS.DEPARTING = 'ATLANTA'
+  AND FLIGHTS.DESTN = WEATHER.CITY
+  AND FLIGHTS.NUM = CHECK-INS.FLNUM
+  AND FLIGHTS.DP_TIME < 0.5`
+
+func TestParsePaperQ1(t *testing.T) {
+	cat := catalog()
+	st, err := Parse(cat, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sources) != 3 {
+		t.Fatalf("sources = %v", st.Sources)
+	}
+	if len(st.Projection) != 3 {
+		t.Errorf("projection = %v", st.Projection)
+	}
+	if len(st.JoinConds) != 2 {
+		t.Errorf("join conds = %v", st.JoinConds)
+	}
+	// Two predicates on FLIGHTS: DEPARTING equality + DP_TIME range.
+	if st.Preds.Len() != 2 {
+		t.Fatalf("preds = %d (%s)", st.Preds.Len(), st.Preds.Sig())
+	}
+	flights := st.Sources[0]
+	sel := st.Preds.StreamSelectivity(flights)
+	// 0.05 (equality) × 0.5 (DP_TIME < 0.5).
+	if math.Abs(sel-0.05*0.5) > 1e-9 {
+		t.Errorf("FLIGHTS selectivity = %g", sel)
+	}
+	q, err := st.Query(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K() != 3 || q.Agg != nil {
+		t.Errorf("query = %+v", q)
+	}
+}
+
+func TestStringEqualityDeterministicAndDistinct(t *testing.T) {
+	cat := catalog()
+	a1, err := Parse(cat, "SELECT * FROM FLIGHTS WHERE FLIGHTS.DEPARTING = 'ATLANTA'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Parse(cat, "SELECT * FROM FLIGHTS WHERE FLIGHTS.DEPARTING = 'atlanta'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(cat, "SELECT * FROM FLIGHTS WHERE FLIGHTS.DEPARTING = 'BOSTON'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Preds.Equal(a2.Preds) {
+		t.Error("identical literals (case-insensitive) differ")
+	}
+	if a1.Preds.Equal(b.Preds) {
+		t.Error("different literals alias")
+	}
+}
+
+func TestBetweenAndComparisons(t *testing.T) {
+	cat := catalog()
+	st, err := Parse(cat, "SELECT * FROM WEATHER WHERE WEATHER.TEMP BETWEEN 0.2 AND 0.6 AND WEATHER.WIND >= 0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preds.Len() != 2 {
+		t.Fatalf("preds = %d", st.Preds.Len())
+	}
+	if got := st.Preds.StreamSelectivity(st.Sources[0]); math.Abs(got-0.4*0.2) > 1e-9 {
+		t.Errorf("selectivity = %g", got)
+	}
+}
+
+func TestAggregateClause(t *testing.T) {
+	cat := catalog()
+	st, err := Parse(cat, "SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.DESTN = WEATHER.CITY WINDOW 30 AGGREGATE COUNT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Agg == nil || st.Agg.Fn != "count" || st.Agg.Window != 30 {
+		t.Fatalf("agg = %+v", st.Agg)
+	}
+	q, err := st.Query(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg == nil {
+		t.Error("query lost the aggregate")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := catalog()
+	cases := map[string]string{
+		"FROM FLIGHTS":                                 "expected SELECT",
+		"SELECT * FROM NOPE":                           "unknown stream",
+		"SELECT * FROM FLIGHTS, FLIGHTS":               "duplicate stream",
+		"SELECT * FROM FLIGHTS WHERE WEATHER.X < 0.5":  "not in FROM",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X < 2":    "empty/invalid range",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X ? 1":    "unexpected character",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X < 'A'":  "must use '='",
+		"SELECT * FROM FLIGHTS trailing":               "unexpected",
+		"SELECT * FROM FLIGHTS WINDOW 0 AGGREGATE SUM": "window must be positive",
+		"SELECT * FROM FLIGHTS WINDOW 5 AGGREGATE XXX": "unknown aggregate",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.A = 'x":   "unterminated string",
+		"SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.A = FLIGHTS.B": "self-join",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X BETWEEN 0.5 AND 0.1":  "invalid range",
+	}
+	for input, frag := range cases {
+		_, err := Parse(cat, input)
+		if err == nil {
+			t.Errorf("%q: no error", input)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("%q: error %q missing %q", input, err, frag)
+		}
+	}
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT a.b, c-d.e <= 0.25 'lit'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{tokIdent, tokIdent, tokDot, tokIdent, tokComma,
+		tokIdent, tokDot, tokIdent, tokOp, tokNumber, tokString, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (toks=%v)", i, kinds[i], want[i], toks)
+		}
+	}
+	if toks[9].text != "0.25" || toks[10].text != "lit" {
+		t.Errorf("texts wrong: %v", toks)
+	}
+}

@@ -1,0 +1,112 @@
+// Package cql parses the SQL-like continuous query language of the
+// paper's examples (Section 1.1) into the library's query model:
+//
+//	SELECT FLIGHTS.STATUS, WEATHER.FORECAST
+//	FROM FLIGHTS, WEATHER, CHECK-INS
+//	WHERE FLIGHTS.DEPARTING = 'ATLANTA'
+//	  AND FLIGHTS.NUM = CHECK-INS.FLNUM
+//	  AND FLIGHTS.DP_TIME < 0.5
+//	WINDOW 30 AGGREGATE COUNT
+//
+// FROM names the base streams (resolved against the catalog). WHERE terms
+// are either equi-join conditions between two streams (validated, then
+// subsumed by the catalog's pairwise selectivities) or selection
+// predicates on one stream's attribute: numeric comparisons over the
+// normalized [0,1] attribute domain, BETWEEN ranges, or string equality
+// (hashed onto a deterministic sub-range so identical literals reuse
+// operators and different literals do not alias). The optional
+// WINDOW/AGGREGATE clause requests a windowed aggregation of the result.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokStar
+	tokOp // = < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. Identifiers may contain dashes and
+// underscores after the first letter (the paper's CHECK-INS stream).
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < n && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c == '\'':
+			j := strings.IndexByte(input[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("cql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : i+1+j], i})
+			i += j + 2
+		case unicode.IsDigit(c):
+			j := i
+			for j < n && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) ||
+				input[j] == '_' || input[j] == '-') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("cql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

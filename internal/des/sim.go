@@ -1,0 +1,95 @@
+// Package des is a minimal discrete-event simulator: a time-ordered event
+// queue with a virtual clock. The IFLOW runtime executes deployment
+// protocols and tuple flows on top of it, substituting for the paper's
+// Emulab testbed with deterministic, reproducible timing.
+package des
+
+import "container/heap"
+
+type event struct {
+	t   float64
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. The zero value is ready to use.
+type Sim struct {
+	q   eventQueue
+	now float64
+	seq uint64
+}
+
+// New returns a fresh simulation at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.q) }
+
+// Schedule queues fn to run after delay seconds of virtual time. Negative
+// delays are clamped to zero (run "now", after already-queued events at
+// the current instant).
+func (s *Sim) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.At(s.now+delay, fn)
+}
+
+// At queues fn at absolute virtual time t; times in the past run at the
+// current instant.
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.q, event{t: t, seq: s.seq, fn: fn})
+}
+
+// Step runs the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.q) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.q).(event)
+	s.now = e.t
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled later stay queued.
+func (s *Sim) RunUntil(t float64) {
+	for len(s.q) > 0 && s.q[0].t <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}

@@ -1,0 +1,124 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []float64
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %g", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(5, func() {
+		s.Schedule(-10, func() { ran = true })
+	})
+	s.Run()
+	if !ran || s.Now() != 5 {
+		t.Errorf("ran=%v now=%g", ran, s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), func() { count++ })
+	}
+	s.RunUntil(5)
+	if count != 5 {
+		t.Errorf("count = %d after RunUntil(5)", count)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %g", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Errorf("count = %d after Run", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Errorf("Now = %g", s.Now())
+	}
+}
+
+// Property: however events are scheduled, execution times are observed in
+// non-decreasing order.
+func TestMonotoneClock(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		var seen []float64
+		n := 1 + rng.Intn(50)
+		var delays []float64
+		for i := 0; i < n; i++ {
+			d := rng.Float64() * 100
+			delays = append(delays, d)
+			s.Schedule(d, func() { seen = append(seen, s.Now()) })
+		}
+		s.Run()
+		if !sort.Float64sAreSorted(seen) {
+			return false
+		}
+		sort.Float64s(delays)
+		for i := range seen {
+			if seen[i] != delays[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

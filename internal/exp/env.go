@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"math/rand"
+
+	"hnp/internal/ads"
+	"hnp/internal/core"
+	"hnp/internal/hierarchy"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+	"hnp/internal/stats"
+	"hnp/internal/workload"
+)
+
+// env is one experimental setup: a topology, its paths, and lazily-built
+// hierarchies per max_cs.
+type env struct {
+	g     *netgraph.Graph
+	paths *netgraph.Paths
+	hs    map[int]*hierarchy.Hierarchy
+	rng   *rand.Rand
+}
+
+func newEnv(n int, seed int64) *env {
+	rng := rand.New(rand.NewSource(seed))
+	g := netgraph.MustTransitStub(n, rng)
+	return &env{
+		g:     g,
+		paths: g.ShortestPaths(netgraph.MetricCost),
+		hs:    map[int]*hierarchy.Hierarchy{},
+		rng:   rng,
+	}
+}
+
+// hier returns (building on first use) the hierarchy for one max_cs.
+func (e *env) hier(maxCS int) *hierarchy.Hierarchy {
+	if h, ok := e.hs[maxCS]; ok {
+		return h
+	}
+	h := hierarchy.MustBuild(e.g, e.paths, maxCS, e.rng)
+	e.hs[maxCS] = h
+	return h
+}
+
+// optimizer plans one query, considering the registry's ads when non-nil.
+type optimizer func(q *query.Query, reg *ads.Registry) (core.Result, error)
+
+// deploySequence deploys queries one at a time: each query is planned
+// against the ads of all previously deployed queries (when reuse is on),
+// then its operators are advertised. It returns the per-query marginal
+// costs and full results.
+func deploySequence(qs []*query.Query, reuse bool, opt optimizer) ([]float64, []core.Result, error) {
+	var reg *ads.Registry
+	if reuse {
+		reg = ads.NewRegistry()
+	}
+	costs := make([]float64, 0, len(qs))
+	var results []core.Result
+	for _, q := range qs {
+		res, err := opt(q, reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		costs = append(costs, res.Cost)
+		results = append(results, res)
+		if reg != nil {
+			reg.AdvertisePlan(q, res.Plan)
+		}
+	}
+	return costs, results, nil
+}
+
+// cumulativeAveraged runs fn for each workload seed, collecting per-query
+// marginal costs, and returns the workload-averaged cumulative curve.
+func cumulativeAveraged(workloads int, baseSeed int64, fn func(w *workload.Workload, rng *rand.Rand) ([]float64, error),
+	gen func(rng *rand.Rand) (*workload.Workload, error)) ([]float64, error) {
+	var rows [][]float64
+	for wi := 0; wi < workloads; wi++ {
+		rng := rand.New(rand.NewSource(baseSeed + int64(wi)*1009))
+		w, err := gen(rng)
+		if err != nil {
+			return nil, err
+		}
+		costs, err := fn(w, rng)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, stats.Cumulative(costs))
+	}
+	return stats.MeanAcross(rows), nil
+}
+
+func seqX(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return xs
+}

@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg shrinks the experiments for test speed while keeping their
+// qualitative shape.
+func quickCfg() Config {
+	return Config{Seed: 42, Workloads: 2, Queries: 6, Fig9Sizes: []int{64, 128}}
+}
+
+func TestFig2(t *testing.T) {
+	f, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 3 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	ours := f.Final("Our approach (Top-Down)")
+	if ours <= 0 {
+		t.Fatal("non-positive cost")
+	}
+	// Joint optimization must beat both phased approaches on this
+	// workload (the paper's >50% claim is checked at full scale in
+	// EXPERIMENTS.md; here we assert the ordering).
+	if ours >= f.Final("Relaxation") {
+		t.Errorf("ours %g not better than Relaxation %g", ours, f.Final("Relaxation"))
+	}
+	if ours >= f.Final("Plan-then-deploy")*1.02 {
+		t.Errorf("ours %g worse than plan-then-deploy %g", ours, f.Final("Plan-then-deploy"))
+	}
+}
+
+// tuneCfg is large enough for the cluster-size trends of figs 5/6 to be
+// statistically visible (they run in ~1s each).
+func tuneCfg() Config {
+	return Config{Seed: 42, Workloads: 5, Queries: 20}
+}
+
+func TestFig5CostDecreasesWithClusterSize(t *testing.T) {
+	f, err := Fig5(tuneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != len(clusterSizes) {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	// Bigger clusters must not be dramatically worse; max_cs=64 should
+	// beat max_cs=2 (fewest levels vs most approximation).
+	if f.Final("max_cs=64") >= f.Final("max_cs=2") {
+		t.Errorf("max_cs=64 (%g) not cheaper than max_cs=2 (%g)",
+			f.Final("max_cs=64"), f.Final("max_cs=2"))
+	}
+	// Cumulative curves must be non-decreasing.
+	for _, s := range f.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1]-1e-9 {
+				t.Fatalf("series %s not cumulative at %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestFig6TopDownFlatAboveFour(t *testing.T) {
+	f, err := Fig6(tuneCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: small max_cs means many levels and poor approximations; at
+	// test scale we assert the robust end of that trend — max_cs=2 is the
+	// most expensive configuration. (The flatness of large max_cs values
+	// is validated at full scale; see EXPERIMENTS.md.)
+	worst := f.Final("max_cs=2")
+	for _, name := range []string{"max_cs=16", "max_cs=32", "max_cs=64"} {
+		if f.Final(name) > worst*1.02 {
+			t.Errorf("%s (%g) costlier than max_cs=2 (%g)", name, f.Final(name), worst)
+		}
+	}
+}
+
+func TestFig7Ordering(t *testing.T) {
+	f, err := Fig7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := f.Final("Optimal")
+	tdR := f.Final("Top-Down with reuse")
+	tdN := f.Final("Top-Down without reuse")
+	buR := f.Final("Bottom-Up with reuse")
+	buN := f.Final("Bottom-Up without reuse")
+	if opt <= 0 {
+		t.Fatal("bad optimal")
+	}
+	// Reuse helps both algorithms in aggregate.
+	if tdR > tdN*1.001 {
+		t.Errorf("reuse hurt Top-Down: %g vs %g", tdR, tdN)
+	}
+	if buR > buN*1.05 {
+		t.Errorf("reuse hurt Bottom-Up: %g vs %g", buR, buN)
+	}
+	// Neither heuristic with reuse can beat the optimal with reuse by a
+	// meaningful margin... but reuse-ordering effects can make heuristics
+	// edge out the per-query optimal occasionally; require sanity only.
+	if tdR < opt*0.8 || buR < opt*0.8 {
+		t.Errorf("heuristics suspiciously beat optimal: td=%g bu=%g opt=%g", tdR, buR, opt)
+	}
+	// Top-Down ranks at or below Bottom-Up.
+	if tdR > buR*1.15 {
+		t.Errorf("Top-Down (%g) much worse than Bottom-Up (%g)", tdR, buR)
+	}
+}
+
+func TestFig8Ordering(t *testing.T) {
+	f, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := f.Final("Top-Down with reuse")
+	if td >= f.Final("Relaxation with reuse") {
+		t.Errorf("Top-Down %g not cheaper than Relaxation %g", td, f.Final("Relaxation with reuse"))
+	}
+	if td >= f.Final("In-Network with reuse")*1.05 {
+		t.Errorf("Top-Down %g not competitive with In-Network %g", td, f.Final("In-Network with reuse"))
+	}
+}
+
+func TestFig9SearchSpace(t *testing.T) {
+	f, err := Fig9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := f.FindSeries("Exhaustive (Lemma 1)")
+	td := f.FindSeries("Top-Down")
+	bu := f.FindSeries("Bottom-Up")
+	bound := f.FindSeries("Analytical bound")
+	for i := range ex.X {
+		if td.Y[i] >= ex.Y[i]*0.01 {
+			t.Errorf("n=%g: top-down %g not ≥99%% below exhaustive %g", ex.X[i], td.Y[i], ex.Y[i])
+		}
+		if bu.Y[i] > td.Y[i]*1.001 {
+			t.Errorf("n=%g: bottom-up %g above top-down %g", ex.X[i], bu.Y[i], td.Y[i])
+		}
+		if td.Y[i] > bound.Y[i] {
+			t.Errorf("n=%g: top-down %g exceeds analytical bound %g", ex.X[i], td.Y[i], bound.Y[i])
+		}
+	}
+}
+
+func TestFig10DeploymentTimes(t *testing.T) {
+	f, err := Fig10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	// Bottom-Up must be faster than Top-Down at matching cluster size.
+	for _, cs := range []string{"4", "8"} {
+		bu := f.Final("Bottom-Up (cluster size=" + cs + ")")
+		td := f.Final("Top-Down (cluster size=" + cs + ")")
+		if bu >= td {
+			t.Errorf("cluster size %s: bottom-up %g not faster than top-down %g", cs, bu, td)
+		}
+	}
+}
+
+func TestFig11CostsAndRuntimeCrossCheck(t *testing.T) {
+	f, err := Fig11(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	td8 := f.Final("Top-Down (cluster size=8)")
+	bu8 := f.Final("Bottom-Up (cluster size=8)")
+	if td8 > bu8*1.05 {
+		t.Errorf("top-down %g worse than bottom-up %g", td8, bu8)
+	}
+	found := false
+	for _, n := range f.Notes {
+		if strings.Contains(n, "runtime cross-check") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing runtime cross-check note")
+	}
+}
+
+func TestRenderProducesTable(t *testing.T) {
+	f, err := Fig9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	f.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"fig9", "Top-Down", "Exhaustive (Lemma 1)", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFinalPanicsOnUnknownSeries(t *testing.T) {
+	f := &Figure{ID: "x"}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown series")
+		}
+	}()
+	f.Final("nope")
+}
+
+func TestRenderCSV(t *testing.T) {
+	f := &Figure{
+		ID: "x", XLabel: "n",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{30}},
+		},
+		Notes: []string{"hello"},
+	}
+	var buf bytes.Buffer
+	f.RenderCSV(&buf)
+	got := buf.String()
+	want := "n,a,b\n1,10,30\n2,20,\n# hello\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	var buf bytes.Buffer
+	(&Figure{ID: "empty", Title: "t"}).Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty render = %q", buf.String())
+	}
+}

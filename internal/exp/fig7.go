@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"math/rand"
+
+	"hnp/internal/ads"
+	"hnp/internal/core"
+	"hnp/internal/query"
+	"hnp/internal/workload"
+)
+
+// Fig7 reproduces Figure 7: sub-optimality and the effect of operator
+// reuse at max_cs=32 — cumulative cost of the DP optimal versus Top-Down
+// and Bottom-Up, each with and without reuse. The paper reports ~27%/30%
+// savings from reuse and 10%/34% average sub-optimality for
+// Top-Down/Bottom-Up.
+func Fig7(cfg Config) (*Figure, error) {
+	const (
+		nodes = 128
+		maxCS = 32
+	)
+	e := newEnv(nodes, cfg.Seed)
+	h := e.hier(maxCS)
+
+	type variant struct {
+		name  string
+		reuse bool
+		opt   func(cat *query.Catalog) optimizer
+	}
+	variants := []variant{
+		{"Top-Down without reuse", false, func(cat *query.Catalog) optimizer {
+			return func(q *query.Query, reg *ads.Registry) (core.Result, error) { return core.TopDown(h, cat, q, reg) }
+		}},
+		{"Top-Down with reuse", true, func(cat *query.Catalog) optimizer {
+			return func(q *query.Query, reg *ads.Registry) (core.Result, error) { return core.TopDown(h, cat, q, reg) }
+		}},
+		{"Bottom-Up without reuse", false, func(cat *query.Catalog) optimizer {
+			return func(q *query.Query, reg *ads.Registry) (core.Result, error) { return core.BottomUp(h, cat, q, reg) }
+		}},
+		{"Bottom-Up with reuse", true, func(cat *query.Catalog) optimizer {
+			return func(q *query.Query, reg *ads.Registry) (core.Result, error) { return core.BottomUp(h, cat, q, reg) }
+		}},
+		{"Optimal", true, func(cat *query.Catalog) optimizer {
+			return func(q *query.Query, reg *ads.Registry) (core.Result, error) {
+				return core.Optimal(e.g, e.paths, cat, q, reg)
+			}
+		}},
+	}
+
+	f := &Figure{
+		ID:     "fig7",
+		Title:  "Sub-optimality and effect of reuse (max_cs=32, 128 nodes)",
+		XLabel: "queries deployed",
+		YLabel: "cumulative cost per unit time",
+	}
+	for _, v := range variants {
+		v := v
+		avg, err := cumulativeAveraged(cfg.Workloads, cfg.Seed,
+			func(w *workload.Workload, _ *rand.Rand) ([]float64, error) {
+				costs, _, err := deploySequence(w.Queries, v.reuse, v.opt(w.Catalog))
+				return costs, err
+			},
+			func(rng *rand.Rand) (*workload.Workload, error) {
+				return workload.Generate(workload.Default(10, cfg.Queries), nodes, rng)
+			})
+		if err != nil {
+			return nil, err
+		}
+		f.Series = append(f.Series, Series{Name: v.name, X: seqX(cfg.Queries), Y: avg})
+	}
+
+	opt := f.Final("Optimal")
+	tdR, tdN := f.Final("Top-Down with reuse"), f.Final("Top-Down without reuse")
+	buR, buN := f.Final("Bottom-Up with reuse"), f.Final("Bottom-Up without reuse")
+	f.AddNote("reuse saves Top-Down %.1f%% (paper: 27%%), Bottom-Up %.1f%% (paper: 30%%)",
+		100*(1-tdR/tdN), 100*(1-buR/buN))
+	f.AddNote("sub-optimality with reuse: Top-Down %.1f%% (paper: 10%%), Bottom-Up %.1f%% (paper: 34%%)",
+		100*(tdR/opt-1), 100*(buR/opt-1))
+	f.AddNote("Top-Down with reuse beats Bottom-Up with reuse by %.1f%% (paper: ~19%%)",
+		100*(1-tdR/buR))
+	return f, nil
+}

@@ -1,0 +1,162 @@
+// Package exp contains one harness per table/figure of the paper's
+// evaluation section. Each harness builds the experiment's topology and
+// workload, runs every algorithm the figure compares, and returns the
+// same series the paper plots, ready to print or benchmark.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one plotted line: a name and aligned X/Y points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced table/figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries derived headline numbers (e.g. "top-down 10.3%
+	// sub-optimal") for EXPERIMENTS.md.
+	Notes []string
+}
+
+// AddNote appends a formatted headline observation.
+func (f *Figure) AddNote(format string, args ...interface{}) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// FindSeries returns the series with the given name, or nil.
+func (f *Figure) FindSeries(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Final returns the last Y value of the named series (the cumulative
+// totals most figures are summarized by). It panics on unknown names so
+// experiment code fails loudly.
+func (f *Figure) Final(name string) float64 {
+	s := f.FindSeries(name)
+	if s == nil || len(s.Y) == 0 {
+		panic(fmt.Sprintf("exp: no series %q in %s", name, f.ID))
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// Render prints the figure as an aligned text table: one X column
+// followed by one column per series, then the notes.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	// Header.
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	x := f.Series[0].X
+	for i := range x {
+		row := []string{trimNum(x[i])}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, trimNum(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[c]-len(cell)))
+			b.WriteString(cell)
+		}
+		fmt.Fprintln(w, b.String())
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths)))
+		}
+	}
+	fmt.Fprintf(w, "(y: %s)\n", f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for i, wd := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += wd
+	}
+	return total
+}
+
+func trimNum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e7 || v < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// RenderCSV writes the figure as CSV: a header row with the X label and
+// series names, one row per X value, and trailing comment lines with the
+// notes. Suitable for plotting tools.
+func (f *Figure) RenderCSV(w io.Writer) {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].X {
+			row := []string{fmt.Sprintf("%g", f.Series[0].X[i])}
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					row = append(row, fmt.Sprintf("%g", s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			fmt.Fprintln(w, strings.Join(row, ","))
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}

@@ -1,0 +1,239 @@
+// Package hierarchy builds and maintains the virtual clustering hierarchy
+// of network partitions at the core of the paper. Physical nodes are
+// clustered by inter-node traversal cost into clusters of at most max_cs
+// members (Level 1); each cluster promotes its most central member as
+// coordinator to the next level, which is clustered again, until a single
+// top-level cluster remains.
+//
+// The hierarchy exposes the per-level estimated inter-node costs the
+// optimizers plan against, and the per-level maximum intra-cluster
+// traversal costs d_i that bound the cost approximation (Theorem 1) and
+// the Top-Down algorithm's sub-optimality (Theorem 3).
+package hierarchy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hnp/internal/cluster"
+	"hnp/internal/netgraph"
+)
+
+// Cluster is one network partition at some level of the hierarchy.
+type Cluster struct {
+	// Level is 1-based: level 1 holds physical nodes.
+	Level int
+	// Members are the nodes present at this level that belong to this
+	// cluster. At level 1 these are physical nodes; above, coordinators
+	// promoted from the level below. All IDs are physical node IDs.
+	Members []netgraph.NodeID
+	// Coordinator is the member promoted to the next level (the medoid).
+	Coordinator netgraph.NodeID
+	// Diameter is the maximum pairwise traversal cost between members,
+	// measured on the physical network.
+	Diameter float64
+}
+
+// Level groups the clusters of one hierarchy level.
+type Level struct {
+	// Index is 1-based.
+	Index    int
+	Clusters []*Cluster
+	byNode   map[netgraph.NodeID]*Cluster
+}
+
+// MaxDiameter returns d_i, the maximum intra-cluster traversal cost at
+// this level.
+func (l *Level) MaxDiameter() float64 {
+	d := 0.0
+	for _, c := range l.Clusters {
+		if c.Diameter > d {
+			d = c.Diameter
+		}
+	}
+	return d
+}
+
+// Hierarchy is a virtual clustering hierarchy over a physical network.
+type Hierarchy struct {
+	g     *netgraph.Graph
+	paths *netgraph.Paths
+	maxCS int
+	lvls  []*Level
+	cover map[*Cluster][]netgraph.NodeID
+}
+
+// Build constructs a hierarchy over the nodes of g with at most maxCS
+// nodes per cluster, clustering by traversal cost under paths (which must
+// be a MetricCost snapshot of g). The rng drives k-medoids seeding;
+// identical seeds give identical hierarchies.
+func Build(g *netgraph.Graph, paths *netgraph.Paths, maxCS int, rng *rand.Rand) (*Hierarchy, error) {
+	if maxCS < 1 {
+		return nil, fmt.Errorf("hierarchy: maxCS must be >= 1, got %d", maxCS)
+	}
+	if maxCS == 1 {
+		return nil, fmt.Errorf("hierarchy: maxCS of 1 cannot form a converging hierarchy")
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("hierarchy: empty graph")
+	}
+	h := &Hierarchy{g: g, paths: paths, maxCS: maxCS, cover: map[*Cluster][]netgraph.NodeID{}}
+	nodes := make([]netgraph.NodeID, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = netgraph.NodeID(i)
+	}
+	levelIdx := 1
+	for {
+		dist := func(i, j int) float64 { return paths.Dist(nodes[i], nodes[j]) }
+		res, err := cluster.Partition(len(nodes), maxCS, dist, rng)
+		if err != nil {
+			return nil, err
+		}
+		lvl := &Level{Index: levelIdx, byNode: map[netgraph.NodeID]*Cluster{}}
+		coords := make([]netgraph.NodeID, 0, len(res.Medoids))
+		for ci, items := range res.Clusters() {
+			members := make([]netgraph.NodeID, len(items))
+			for k, it := range items {
+				members[k] = nodes[it]
+			}
+			c := &Cluster{
+				Level:       levelIdx,
+				Members:     members,
+				Coordinator: nodes[res.Medoids[ci]],
+				Diameter:    paths.MaxPairwise(members),
+			}
+			lvl.Clusters = append(lvl.Clusters, c)
+			for _, m := range members {
+				lvl.byNode[m] = c
+			}
+			coords = append(coords, c.Coordinator)
+		}
+		h.lvls = append(h.lvls, lvl)
+		if len(lvl.Clusters) == 1 {
+			break
+		}
+		nodes = coords
+		levelIdx++
+	}
+	return h, nil
+}
+
+// MustBuild is Build but panics on error; convenient in experiments where
+// the configuration is static and known-good.
+func MustBuild(g *netgraph.Graph, paths *netgraph.Paths, maxCS int, rng *rand.Rand) *Hierarchy {
+	h, err := Build(g, paths, maxCS, rng)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Graph returns the underlying physical network.
+func (h *Hierarchy) Graph() *netgraph.Graph { return h.g }
+
+// Paths returns the all-pairs cost snapshot the hierarchy was built over.
+func (h *Hierarchy) Paths() *netgraph.Paths { return h.paths }
+
+// MaxCS returns the cluster size cap.
+func (h *Hierarchy) MaxCS() int { return h.maxCS }
+
+// Height returns the number of levels.
+func (h *Hierarchy) Height() int { return len(h.lvls) }
+
+// LevelAt returns the given 1-based level.
+func (h *Hierarchy) LevelAt(i int) *Level {
+	if i < 1 || i > len(h.lvls) {
+		panic(fmt.Sprintf("hierarchy: level %d out of range [1,%d]", i, len(h.lvls)))
+	}
+	return h.lvls[i-1]
+}
+
+// Top returns the single top-level cluster.
+func (h *Hierarchy) Top() *Cluster {
+	top := h.lvls[len(h.lvls)-1]
+	return top.Clusters[0]
+}
+
+// ClusterOf returns the cluster containing node v at the given level. The
+// node must be present at that level (at level 1 every active node is; at
+// level l >= 2 only coordinators promoted from below are). Returns nil if
+// v is not present at the level.
+func (h *Hierarchy) ClusterOf(v netgraph.NodeID, level int) *Cluster {
+	return h.LevelAt(level).byNode[v]
+}
+
+// Contains reports whether node v is still part of the hierarchy (it may
+// have been removed via RemoveNode).
+func (h *Hierarchy) Contains(v netgraph.NodeID) bool {
+	return h.lvls[0].byNode[v] != nil
+}
+
+// Rep returns the node that represents physical node v at the given level:
+// v itself at level 1, otherwise the coordinator chain up the hierarchy.
+func (h *Hierarchy) Rep(v netgraph.NodeID, level int) netgraph.NodeID {
+	r := v
+	for i := 1; i < level; i++ {
+		c := h.lvls[i-1].byNode[r]
+		if c == nil {
+			panic(fmt.Sprintf("hierarchy: node %d not present at level %d", r, i))
+		}
+		r = c.Coordinator
+	}
+	return r
+}
+
+// EstCost returns the estimated traversal cost between physical nodes a
+// and b as seen at the given level: the physical path cost between their
+// level-l representatives. At level 1 this is the actual cost.
+func (h *Hierarchy) EstCost(a, b netgraph.NodeID, level int) float64 {
+	return h.paths.Dist(h.Rep(a, level), h.Rep(b, level))
+}
+
+// SumD returns Σ_{i<level} 2·d_i, the Theorem 1 bound on the gap between
+// estimated cost at the given level and actual cost.
+func (h *Hierarchy) SumD(level int) float64 {
+	sum := 0.0
+	for i := 1; i < level; i++ {
+		sum += 2 * h.lvls[i-1].MaxDiameter()
+	}
+	return sum
+}
+
+// ChildCluster returns the cluster at level-1 whose coordinator is m,
+// i.e. the partition that member m of a level-l cluster stands for.
+// For level == 1 there is no child; it returns nil.
+func (h *Hierarchy) ChildCluster(m netgraph.NodeID, level int) *Cluster {
+	if level <= 1 {
+		return nil
+	}
+	return h.lvls[level-2].byNode[m]
+}
+
+// Cover returns all physical nodes under cluster c (its transitive
+// membership). The result is cached; mutations invalidate the cache.
+func (h *Hierarchy) Cover(c *Cluster) []netgraph.NodeID {
+	if got, ok := h.cover[c]; ok {
+		return got
+	}
+	var out []netgraph.NodeID
+	if c.Level == 1 {
+		out = append([]netgraph.NodeID(nil), c.Members...)
+	} else {
+		for _, m := range c.Members {
+			out = append(out, h.Cover(h.ChildCluster(m, c.Level))...)
+		}
+	}
+	h.cover[c] = out
+	return out
+}
+
+func (h *Hierarchy) invalidate() { h.cover = map[*Cluster][]netgraph.NodeID{} }
+
+// NumClusters returns the total number of clusters across all levels.
+func (h *Hierarchy) NumClusters() int {
+	n := 0
+	for _, l := range h.lvls {
+		n += len(l.Clusters)
+	}
+	return n
+}

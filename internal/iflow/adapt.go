@@ -1,0 +1,89 @@
+package iflow
+
+import (
+	"fmt"
+
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// UpdateLinkCost models a change in network conditions: the link's
+// per-byte cost is updated and the cost-routing snapshot refreshed, so
+// subsequent transfers are accounted at the new price. (Stream routes
+// follow the new snapshot immediately; in-flight tuples keep their old
+// accounting, as on a real network.)
+func (rt *Runtime) UpdateLinkCost(a, b netgraph.NodeID, cost float64) error {
+	if err := rt.G.SetLinkCost(a, b, cost); err != nil {
+		return fmt.Errorf("iflow: %w", err)
+	}
+	rt.Cost = rt.G.ShortestPaths(netgraph.MetricCost)
+	return nil
+}
+
+// Redeploy replaces a deployed query's plan while preserving its
+// cumulative sink statistics — the mechanics behind the middleware
+// layer's runtime plan migration.
+func (rt *Runtime) Redeploy(q *query.Query, plan *query.PlanNode, cat *query.Catalog, until float64) error {
+	old := rt.sinks[q.ID]
+	if err := rt.Undeploy(q.ID); err != nil {
+		return err
+	}
+	if err := rt.Deploy(q, plan, cat, until); err != nil {
+		return err
+	}
+	if old != nil {
+		s := rt.sinks[q.ID]
+		s.Tuples += old.Tuples
+		s.Bytes += old.Bytes
+		s.LatencySum += old.LatencySum
+	}
+	return nil
+}
+
+// ReplanFunc produces a fresh plan for a query against current conditions.
+type ReplanFunc func(q *query.Query) (*query.PlanNode, error)
+
+// AdaptStats reports what the middleware did.
+type AdaptStats struct {
+	Checks     int
+	Migrations int
+}
+
+// Adapt installs the middleware layer's self-management loop: every
+// interval seconds of virtual time (until the given horizon), each
+// deployed query's current plan is re-costed against the present network
+// and replaced when a fresh optimization undercuts it by more than the
+// relative slack. It returns the stats collector, filled in as the
+// simulation runs.
+func (rt *Runtime) Adapt(qs []*query.Query, plans map[int]*query.PlanNode,
+	cat *query.Catalog, replan ReplanFunc, slack, interval, until float64) *AdaptStats {
+	stats := &AdaptStats{}
+	var check func()
+	check = func() {
+		if rt.Sim.Now() >= until {
+			return
+		}
+		for _, q := range qs {
+			cur, ok := plans[q.ID]
+			if !ok {
+				continue
+			}
+			stats.Checks++
+			curCost := cur.Cost(rt.Cost.Dist, q.Sink)
+			fresh, err := replan(q)
+			if err != nil {
+				continue
+			}
+			freshCost := fresh.Cost(rt.Cost.Dist, q.Sink)
+			if freshCost < curCost*(1-slack) {
+				if err := rt.Redeploy(q, fresh, cat, until); err == nil {
+					plans[q.ID] = fresh
+					stats.Migrations++
+				}
+			}
+		}
+		rt.Sim.Schedule(interval, check)
+	}
+	rt.Sim.Schedule(interval, check)
+	return stats
+}

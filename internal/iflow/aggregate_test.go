@@ -1,0 +1,63 @@
+package iflow
+
+import (
+	"testing"
+
+	"hnp/internal/core"
+	"hnp/internal/query"
+)
+
+// A deployed aggregate must emit roughly one summary tuple per window and
+// collapse the stream delivered to the sink.
+func TestAggregateExecution(t *testing.T) {
+	w := makeTestWorld(t, 17)
+	aggQ, err := query.NewQueryAgg(5, w.q.Sources, w.q.Sink, query.PredSet{},
+		query.AggSpec{Fn: "count", Window: 20, OutRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.TopDown(w.h, w.cat, aggQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.IsUnary() {
+		t.Fatal("plan root is not the aggregate")
+	}
+
+	rt := New(w.g, DefaultConfig(), 51)
+	const horizon = 600.0
+	if err := rt.Deploy(aggQ, res.Plan, w.cat, horizon); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunFor(horizon)
+
+	sink := rt.Sink(aggQ.ID)
+	if sink.Tuples == 0 {
+		t.Fatal("aggregate delivered nothing")
+	}
+	// At most one summary per 20s window (+1 boundary effect); well below
+	// the raw join output.
+	maxSummaries := int64(horizon/20) + 2
+	if sink.Tuples > maxSummaries {
+		t.Errorf("delivered %d summaries for %d windows", sink.Tuples, maxSummaries)
+	}
+	aggOp := rt.Operator(aggQ.AggSig(), res.Plan.Loc)
+	if aggOp == nil || !aggOp.isAgg {
+		t.Fatal("aggregate operator missing")
+	}
+	// The raw join emits far more than the summaries delivered.
+	join := rt.Operator(aggQ.SigOf(aggQ.All()), res.Plan.L.Loc)
+	if join == nil {
+		t.Fatal("join operator missing")
+	}
+	if join.OutCount <= sink.Tuples {
+		t.Errorf("join emitted %d, summaries %d: no reduction", join.OutCount, sink.Tuples)
+	}
+	// Undeploy tears everything down, aggregate included.
+	if err := rt.Undeploy(aggQ.ID); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumOperators() != 0 {
+		t.Errorf("%d operators survive undeploy", rt.NumOperators())
+	}
+}

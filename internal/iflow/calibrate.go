@@ -1,0 +1,82 @@
+package iflow
+
+import (
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// This file closes the paper's statistics loop: "the expected data-rates
+// of the stream sources and the selectivities of their various attributes
+// [are] measured online or using gathered statistics over the stream
+// sources". The runtime's operator counters provide the measurements; the
+// catalog the optimizers plan with is refreshed from them, so the next
+// (re-)optimization uses observed rather than assumed statistics.
+
+// EmpiricalRate returns an operator's measured output rate in tuples per
+// second over the elapsed virtual time, or 0 when nothing was observed.
+func (rt *Runtime) EmpiricalRate(sig string, node netgraph.NodeID, elapsed float64) float64 {
+	op := rt.Operator(sig, node)
+	if op == nil || elapsed <= 0 {
+		return 0
+	}
+	return float64(op.OutCount) / elapsed
+}
+
+// Calibrate refreshes the catalog from a deployed plan's runtime
+// counters: base stream rates become their taps' measured emission rates,
+// and the pairwise selectivity of every two-way join over base leaves is
+// re-estimated as measuredOut / (measuredLeft × measuredRight). It
+// returns the number of statistics updated. Joins above the first level
+// compose from pairwise selectivities, so calibrating the leaves-level
+// joins recalibrates the whole rate model.
+func (rt *Runtime) Calibrate(cat *query.Catalog, q *query.Query, plan *query.PlanNode, elapsed float64) int {
+	if elapsed <= 0 {
+		return 0
+	}
+	updated := 0
+	// Refresh base stream rates from their taps.
+	for _, leaf := range plan.Leaves() {
+		if leaf.In.Derived {
+			continue
+		}
+		ids := q.StreamsOf(leaf.Mask)
+		if len(ids) != 1 {
+			continue
+		}
+		if r := rt.EmpiricalRate(leaf.In.Sig, leaf.Loc, elapsed); r > 0 {
+			cat.SetRate(ids[0], r)
+			updated++
+		}
+	}
+	var walk func(n *query.PlanNode)
+	walk = func(n *query.PlanNode) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		walk(n.L)
+		if !n.IsUnary() {
+			walk(n.R)
+		}
+		if n.IsUnary() || !n.L.IsLeaf() || !n.R.IsLeaf() ||
+			n.L.In.Derived || n.R.In.Derived {
+			return
+		}
+		lIDs := q.StreamsOf(n.L.Mask)
+		rIDs := q.StreamsOf(n.R.Mask)
+		if len(lIDs) != 1 || len(rIDs) != 1 {
+			return
+		}
+		lRate := rt.EmpiricalRate(n.L.In.Sig, n.L.Loc, elapsed)
+		rRate := rt.EmpiricalRate(n.R.In.Sig, n.R.Loc, elapsed)
+		join := rt.Operator(q.SigOf(n.Mask), n.Loc)
+		if lRate <= 0 || rRate <= 0 || join == nil {
+			return
+		}
+		measured := float64(join.OutCount) / elapsed
+		sel := measured / (lRate * rRate)
+		cat.SetSelectivity(lIDs[0], rIDs[0], sel)
+		updated++
+	}
+	walk(plan)
+	return updated
+}

@@ -1,0 +1,89 @@
+package iflow
+
+import (
+	"math"
+	"testing"
+
+	"hnp/internal/core"
+	"hnp/internal/query"
+)
+
+// The catalog starts with wrong statistics; after running the engine and
+// calibrating, the planning model must track the engine's empirical
+// behaviour (rates from taps, selectivities from join counters).
+func TestCalibrateTracksEmpiricalStats(t *testing.T) {
+	w := makeTestWorld(t, 18)
+	cfg := DefaultConfig()
+	rt := New(w.g, cfg, 61)
+	const horizon = 400.0
+	if err := rt.Deploy(w.q, w.plan, w.cat, horizon); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunFor(horizon)
+
+	updated := rt.Calibrate(w.cat, w.q, w.plan, horizon)
+	if updated == 0 {
+		t.Fatal("nothing calibrated")
+	}
+
+	// Tap rates must now match measurements (Poisson: within ~15%).
+	for _, leaf := range w.plan.Leaves() {
+		if leaf.In.Derived {
+			continue
+		}
+		ids := w.q.StreamsOf(leaf.Mask)
+		measured := rt.EmpiricalRate(leaf.In.Sig, leaf.Loc, horizon)
+		if measured <= 0 {
+			t.Fatalf("no emissions from %s", leaf.In.Sig)
+		}
+		if got := w.cat.Stream(ids[0]).Rate; math.Abs(got-measured) > 1e-9 {
+			t.Errorf("stream %d rate %g != measured %g", ids[0], got, measured)
+		}
+	}
+
+	// Any calibrated pairwise selectivity approximates the engine's
+	// intrinsic 2·Window/KeyDomain (loose bound: windows + Poisson noise).
+	engineSel := 2 * cfg.Window / float64(cfg.KeyDomain)
+	calibrated := false
+	var checkJoin func(n *query.PlanNode)
+	checkJoin = func(n *query.PlanNode) {
+		if n == nil || n.IsLeaf() || n.IsUnary() {
+			return
+		}
+		checkJoin(n.L)
+		checkJoin(n.R)
+		if n.L.IsLeaf() && n.R.IsLeaf() && !n.L.In.Derived && !n.R.In.Derived {
+			l := w.q.StreamsOf(n.L.Mask)[0]
+			r := w.q.StreamsOf(n.R.Mask)[0]
+			sel := w.cat.Selectivity(l, r)
+			if sel <= 0 || sel > 5*engineSel || sel < engineSel/5 {
+				t.Errorf("calibrated sel %g far from engine %g", sel, engineSel)
+			}
+			calibrated = true
+		}
+	}
+	checkJoin(w.plan)
+	if !calibrated {
+		t.Skip("plan has no base-base join on this seed")
+	}
+
+	// Replanning with calibrated stats still yields a valid plan.
+	res, err := core.TopDown(w.h, w.cat, w.q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateNoData(t *testing.T) {
+	w := makeTestWorld(t, 19)
+	rt := New(w.g, DefaultConfig(), 62)
+	if got := rt.Calibrate(w.cat, w.q, w.plan, 0); got != 0 {
+		t.Errorf("calibrated %d stats from zero elapsed time", got)
+	}
+	if got := rt.EmpiricalRate("nope", 0, 10); got != 0 {
+		t.Errorf("EmpiricalRate of missing op = %g", got)
+	}
+}

@@ -1,0 +1,75 @@
+package iflow
+
+import (
+	"math"
+	"testing"
+
+	"hnp/internal/query"
+)
+
+// A stricter query reusing a weaker operator through a residual filter
+// must deliver roughly the filtered fraction of the weaker stream.
+func TestResidualFilterExecution(t *testing.T) {
+	w := makeTestWorld(t, 12)
+	rt := New(w.g, DefaultConfig(), 21)
+
+	// Deploy the base (weak, unconstrained) query.
+	if err := rt.Deploy(w.q, w.plan, w.cat, 600); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stricter query over the same streams with 25%-selective predicates
+	// on one stream, reusing the weak root through a filter.
+	preds := query.MustPredSet(
+		query.Pred{Stream: w.q.Sources[0], Attr: "dep", Range: query.Range{Lo: 0, Hi: 0.25}},
+	)
+	strict, err := query.NewQueryPred(1, w.q.Sources, 15, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srt := query.BuildRates(w.cat, strict)
+	leaf := query.Leaf(query.Input{
+		Mask:    strict.All(),
+		Rate:    srt.Rate(strict.All()),
+		Loc:     w.plan.Loc,
+		Derived: true,
+		Sig:     strict.SigOf(strict.All()),
+		BaseSig: w.q.SigOf(w.q.All()),
+	})
+	if err := rt.Deploy(strict, leaf, w.cat, 600); err != nil {
+		t.Fatal(err)
+	}
+
+	// The filter operator exists at the producer node under the strict sig.
+	f := rt.Operator(strict.SigOf(strict.All()), w.plan.Loc)
+	if f == nil || !f.isFilter {
+		t.Fatal("residual filter not instantiated")
+	}
+	if math.Abs(f.passProb-0.25) > 1e-9 {
+		t.Errorf("passProb = %g, want 0.25", f.passProb)
+	}
+
+	rt.RunFor(600)
+	weakTuples := rt.Sink(w.q.ID).Tuples
+	strictTuples := rt.Sink(strict.ID).Tuples
+	if weakTuples == 0 {
+		t.Fatal("weak query delivered nothing")
+	}
+	frac := float64(strictTuples) / float64(weakTuples)
+	if math.Abs(frac-0.25) > 0.12 {
+		t.Errorf("filtered fraction %.3f (strict %d / weak %d), want ~0.25",
+			frac, strictTuples, weakTuples)
+	}
+}
+
+func TestResidualFilterMissingBaseRejected(t *testing.T) {
+	w := makeTestWorld(t, 13)
+	rt := New(w.g, DefaultConfig(), 22)
+	leaf := query.Leaf(query.Input{
+		Mask: w.q.All(), Rate: 1, Loc: 4, Derived: true,
+		Sig: "x#fake", BaseSig: "y|z",
+	})
+	if err := rt.Deploy(w.q, leaf, w.cat, 10); err == nil {
+		t.Error("filter on undeployed base accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package iflow
+
+import (
+	"fmt"
+
+	"hnp/internal/core"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// Deploy instantiates a placed plan in the runtime: base-stream taps are
+// started (or found) at source nodes, join operators are created at their
+// assigned nodes — unless an operator with the same signature already
+// runs there, in which case it is reused and merely gains a subscriber —
+// and the root output is subscribed to the query's sink. sourceRate maps
+// base signatures to emission rates; until bounds source lifetimes.
+func (rt *Runtime) Deploy(q *query.Query, plan *query.PlanNode, cat *query.Catalog, until float64) error {
+	if _, ok := rt.deploys[q.ID]; ok {
+		return fmt.Errorf("iflow: query %d already deployed", q.ID)
+	}
+	if err := plan.Validate(); err != nil {
+		return fmt.Errorf("iflow: query %d: %w", q.ID, err)
+	}
+	var held []opKey
+	hold := func(op *Operator) {
+		op.refs++
+		held = append(held, op.key)
+	}
+
+	// instantiate returns the operator producing node n's output.
+	var instantiate func(n *query.PlanNode) (*Operator, error)
+	instantiate = func(n *query.PlanNode) (*Operator, error) {
+		if n.IsLeaf() {
+			if n.In.Derived {
+				op := rt.Operator(n.In.Sig, n.Loc)
+				if op == nil && n.In.BaseSig != "" {
+					// Containment reuse: attach a residual filter at the
+					// producing node, narrowing the weaker stream to this
+					// query's predicates.
+					base := rt.Operator(n.In.BaseSig, n.Loc)
+					if base == nil {
+						return nil, fmt.Errorf("iflow: contained stream %s@%d not deployed", n.In.BaseSig, n.Loc)
+					}
+					pass := 1.0
+					if base.expRate > 0 && n.Rate < base.expRate {
+						pass = n.Rate / base.expRate
+					}
+					key := opKey{sig: n.In.Sig, node: n.Loc}
+					op = &Operator{key: key, isFilter: true, passProb: pass, expRate: n.Rate}
+					rt.ops[key] = op
+					base.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
+				}
+				if op == nil {
+					return nil, fmt.Errorf("iflow: reused stream %s@%d not deployed", n.In.Sig, n.Loc)
+				}
+				hold(op)
+				return op, nil
+			}
+			// Base stream: one tap shared by all queries.
+			op := rt.Operator(n.In.Sig, n.Loc)
+			if op == nil {
+				ids := q.StreamsOf(n.Mask)
+				if len(ids) != 1 {
+					return nil, fmt.Errorf("iflow: base leaf covering %d streams", len(ids))
+				}
+				var err error
+				op, err = rt.StartSource(n.In.Sig, n.Loc, cat.Stream(ids[0]).Rate, until)
+				if err != nil {
+					return nil, err
+				}
+			}
+			hold(op)
+			return op, nil
+		}
+		if n.IsUnary() {
+			child, err := instantiate(n.L)
+			if err != nil {
+				return nil, err
+			}
+			key := opKey{sig: n.Unary.Sig, node: n.Loc}
+			op := rt.ops[key]
+			if op == nil {
+				op = &Operator{
+					key: key, isAgg: true, aggWindow: n.Unary.Agg.Window, expRate: n.Rate,
+				}
+				rt.ops[key] = op
+				child.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
+			}
+			hold(op)
+			return op, nil
+		}
+		l, err := instantiate(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := instantiate(n.R)
+		if err != nil {
+			return nil, err
+		}
+		sig := q.SigOf(n.Mask)
+		key := opKey{sig: sig, node: n.Loc}
+		op := rt.ops[key]
+		if op == nil {
+			op = &Operator{key: key, window: rt.cfg.Window, expRate: n.Rate}
+			rt.ops[key] = op
+			l.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
+			r.subscribe(subscription{dst: key, side: rightSide, sink: -1, to: n.Loc})
+		}
+		hold(op)
+		return op, nil
+	}
+
+	root, err := instantiate(plan)
+	if err != nil {
+		// Roll back references taken so far.
+		for _, k := range held {
+			rt.ops[k].refs--
+		}
+		return err
+	}
+	rt.sinks[q.ID] = &SinkStats{Node: q.Sink}
+	root.subscribe(subscription{sink: q.ID, to: q.Sink})
+	rt.deploys[q.ID] = held
+	return nil
+}
+
+// subscribe adds a subscription unless an identical one exists (reuse by
+// several queries must not duplicate the stream).
+func (op *Operator) subscribe(s subscription) {
+	for _, ex := range op.subs {
+		if ex == s {
+			return
+		}
+	}
+	op.subs = append(op.subs, s)
+}
+
+func (op *Operator) unsubscribe(s subscription) {
+	for i, ex := range op.subs {
+		if ex == s {
+			op.subs = append(op.subs[:i], op.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Undeploy tears a query down: its operator references are released and
+// operators no longer referenced by any deployment are removed, together
+// with their upstream subscriptions. Base taps persist while referenced.
+func (rt *Runtime) Undeploy(queryID int) error {
+	held, ok := rt.deploys[queryID]
+	if !ok {
+		return fmt.Errorf("iflow: query %d not deployed", queryID)
+	}
+	for _, k := range held {
+		if op := rt.ops[k]; op != nil {
+			op.refs--
+		}
+	}
+	// Remove the sink subscription.
+	for _, op := range rt.ops {
+		op.unsubscribe(subscription{sink: queryID, to: rt.sinks[queryID].Node})
+	}
+	delete(rt.deploys, queryID)
+	// Garbage-collect unreferenced operators (iterate to a fixed point so
+	// chains collapse; subscriptions into removed operators are dropped
+	// lazily by emit).
+	for changed := true; changed; {
+		changed = false
+		for k, op := range rt.ops {
+			if op.refs <= 0 && len(op.subs) == 0 {
+				delete(rt.ops, k)
+				changed = true
+			}
+		}
+		// Drop subscriptions pointing at removed operators.
+		for _, op := range rt.ops {
+			kept := op.subs[:0]
+			for _, s := range op.subs {
+				if s.sink >= 0 || rt.ops[s.dst] != nil {
+					kept = append(kept, s)
+				}
+			}
+			if len(kept) != len(op.subs) {
+				op.subs = kept
+				changed = true
+			}
+		}
+	}
+	return nil
+}
+
+// DeployTime replays a planning trace over the simulated network and
+// returns the wall-clock seconds the deployment protocol takes: the query
+// registration travels from the sink to the first coordinator, each
+// coordinator spends CPU proportional to the solutions it examines, and
+// planning hand-offs ride delay-shortest paths with per-hop overhead.
+// Children of one step proceed in parallel (Top-Down fans out; Bottom-Up
+// chains).
+func (rt *Runtime) DeployTime(trace *core.PlanStep, sink netgraph.NodeID) float64 {
+	if trace == nil {
+		return 0
+	}
+	var finish func(s *core.PlanStep, arrival float64) float64
+	finish = func(s *core.PlanStep, arrival float64) float64 {
+		done := arrival + s.Plans*rt.cfg.ComputePerPlan
+		end := done
+		for _, ch := range s.Children {
+			t := finish(ch, done+rt.msgDelay(s.Coordinator, ch.Coordinator))
+			if t > end {
+				end = t
+			}
+		}
+		return end
+	}
+	return finish(trace, rt.msgDelay(sink, trace.Coordinator))
+}
+
+func (rt *Runtime) msgDelay(a, b netgraph.NodeID) float64 {
+	if a == b {
+		return 0
+	}
+	hops := rt.Delay.Hops(a, b)
+	if hops < 0 {
+		hops = 1
+	}
+	return rt.Delay.Dist(a, b) + float64(hops)*rt.cfg.HopOverhead
+}

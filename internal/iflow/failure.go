@@ -1,0 +1,91 @@
+package iflow
+
+import (
+	"fmt"
+	"sort"
+
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// FailNode models a node crash: every operator hosted on the node (base
+// taps, joins, filters) dies immediately, subscriptions into them are
+// dropped, and tuples in flight toward them are lost. It returns the IDs
+// of the queries whose deployments referenced an operator on the failed
+// node, sorted, so the middleware can re-plan them.
+func (rt *Runtime) FailNode(v netgraph.NodeID) []int {
+	dead := map[opKey]bool{}
+	for k := range rt.ops {
+		if k.node == v {
+			dead[k] = true
+			delete(rt.ops, k)
+		}
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+	// Drop subscriptions into dead operators.
+	for _, op := range rt.ops {
+		kept := op.subs[:0]
+		for _, s := range op.subs {
+			if s.sink < 0 && dead[s.dst] {
+				continue
+			}
+			kept = append(kept, s)
+		}
+		op.subs = kept
+	}
+	affected := map[int]bool{}
+	for qid, held := range rt.deploys {
+		for _, k := range held {
+			if dead[k] {
+				affected[qid] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(affected))
+	for qid := range affected {
+		out = append(out, qid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RecoverQueries re-deploys the given queries after a failure: each is
+// undeployed (releasing surviving shared operators correctly), re-planned
+// with replan against current conditions, and deployed again, preserving
+// sink statistics. Queries whose re-planning fails (e.g. their base
+// source died with the node) are reported in failedIDs rather than
+// aborting the rest.
+func (rt *Runtime) RecoverQueries(affected []int, qs map[int]*query.Query,
+	plans map[int]*query.PlanNode, cat *query.Catalog, replan ReplanFunc,
+	until float64) (recovered, failedIDs []int, err error) {
+	for _, qid := range affected {
+		q := qs[qid]
+		if q == nil {
+			return recovered, failedIDs, fmt.Errorf("iflow: unknown query %d", qid)
+		}
+		old := rt.sinks[qid]
+		if uerr := rt.Undeploy(qid); uerr != nil {
+			return recovered, failedIDs, uerr
+		}
+		fresh, perr := replan(q)
+		if perr != nil {
+			failedIDs = append(failedIDs, qid)
+			continue
+		}
+		if derr := rt.Deploy(q, fresh, cat, until); derr != nil {
+			failedIDs = append(failedIDs, qid)
+			continue
+		}
+		if old != nil {
+			s := rt.sinks[qid]
+			s.Tuples += old.Tuples
+			s.Bytes += old.Bytes
+			s.LatencySum += old.LatencySum
+		}
+		plans[qid] = fresh
+		recovered = append(recovered, qid)
+	}
+	return recovered, failedIDs, nil
+}

@@ -1,0 +1,140 @@
+package iflow
+
+import (
+	"testing"
+
+	"hnp/internal/core"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// opNode returns a node hosting a join operator of the plan that is
+// neither a source nor the sink, or -1.
+func opNode(w *testWorld) netgraph.NodeID {
+	sources := map[netgraph.NodeID]bool{}
+	for _, id := range w.q.Sources {
+		sources[w.cat.Stream(id).Source] = true
+	}
+	for _, op := range w.plan.Operators() {
+		if !sources[op.Loc] && op.Loc != w.q.Sink {
+			return op.Loc
+		}
+	}
+	return -1
+}
+
+func TestFailNodeKillsOperatorsAndReportsQueries(t *testing.T) {
+	w := makeTestWorld(t, 14)
+	rt := New(w.g, DefaultConfig(), 31)
+	if err := rt.Deploy(w.q, w.plan, w.cat, 200); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunFor(10)
+	victim := opNode(w)
+	if victim < 0 {
+		t.Skip("plan colocates all operators with endpoints on this seed")
+	}
+	before := rt.NumOperators()
+	affected := rt.FailNode(victim)
+	if len(affected) != 1 || affected[0] != w.q.ID {
+		t.Fatalf("affected = %v", affected)
+	}
+	if rt.NumOperators() >= before {
+		t.Error("no operators died")
+	}
+	// Simulation keeps running without the dead operators (tuples to them
+	// are dropped, no panic).
+	rt.RunFor(10)
+	// Failing an empty node affects nothing.
+	if got := rt.FailNode(victim); got != nil {
+		t.Errorf("second failure reported %v", got)
+	}
+}
+
+func TestRecoverQueriesRestoresDelivery(t *testing.T) {
+	w := makeTestWorld(t, 15)
+	rt := New(w.g, DefaultConfig(), 32)
+	const horizon = 400.0
+	if err := rt.Deploy(w.q, w.plan, w.cat, horizon); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunFor(50)
+	delivered := rt.Sink(w.q.ID).Tuples
+	if delivered == 0 {
+		t.Fatal("nothing delivered before failure")
+	}
+	victim := opNode(w)
+	if victim < 0 {
+		t.Skip("plan colocates all operators with endpoints on this seed")
+	}
+
+	affected := rt.FailNode(victim)
+	// The failed node also leaves the hierarchy (backup coordinator
+	// promotion), so new plans avoid it.
+	if err := w.h.RemoveNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	qs := map[int]*query.Query{w.q.ID: w.q}
+	plans := map[int]*query.PlanNode{w.q.ID: w.plan}
+	replan := func(q *query.Query) (*query.PlanNode, error) {
+		res, err := core.TopDown(w.h, w.cat, q, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Plan, nil
+	}
+	recovered, failed, err := rt.RecoverQueries(affected, qs, plans, w.cat, replan, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 || len(recovered) != 1 {
+		t.Fatalf("recovered=%v failed=%v", recovered, failed)
+	}
+	// The new plan avoids the dead node.
+	for _, op := range plans[w.q.ID].Operators() {
+		if op.Loc == victim {
+			t.Error("recovered plan still uses the failed node")
+		}
+	}
+	rt.RunFor(200)
+	after := rt.Sink(w.q.ID).Tuples
+	if after <= delivered {
+		t.Errorf("no deliveries after recovery: %d -> %d", delivered, after)
+	}
+}
+
+func TestRecoverQueriesReportsUnplannable(t *testing.T) {
+	w := makeTestWorld(t, 16)
+	rt := New(w.g, DefaultConfig(), 33)
+	if err := rt.Deploy(w.q, w.plan, w.cat, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Fail a SOURCE node: the stream is gone and replanning cannot succeed.
+	srcNode := w.cat.Stream(w.q.Sources[0]).Source
+	affected := rt.FailNode(srcNode)
+	if len(affected) == 0 {
+		t.Fatal("source failure affected nothing")
+	}
+	qs := map[int]*query.Query{w.q.ID: w.q}
+	plans := map[int]*query.PlanNode{w.q.ID: w.plan}
+	replan := func(q *query.Query) (*query.PlanNode, error) {
+		return nil, errSourceDead
+	}
+	recovered, failed, err := rt.RecoverQueries(affected, qs, plans, w.cat, replan, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 || len(failed) != 1 {
+		t.Errorf("recovered=%v failed=%v", recovered, failed)
+	}
+	// Unknown query id errors.
+	if _, _, err := rt.RecoverQueries([]int{42}, qs, plans, w.cat, replan, 100); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+var errSourceDead = errSentinel("source node failed")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }

@@ -1,0 +1,310 @@
+// Package iflow is a simulated distributed stream-processing runtime in
+// the mold of the IFLOW system the paper prototypes on: physical nodes
+// exchange protocol messages and stream tuples over links with real
+// propagation delays and per-byte costs, deployed query plans execute
+// windowed symmetric hash joins, and a middleware layer re-triggers
+// optimization when network conditions change. It substitutes for the
+// paper's 32-node Emulab testbed with deterministic, reproducible timing.
+package iflow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hnp/internal/des"
+	"hnp/internal/netgraph"
+)
+
+// Tuple is one data item on a stream.
+type Tuple struct {
+	// Key is the join attribute (e.g. a flight number); all streams join
+	// on this shared attribute, as in the paper's OIS scenario.
+	Key int64
+	// Size is the tuple's size in cost units (bytes).
+	Size float64
+	// Born is the creation time of the oldest base tuple it contains,
+	// used to measure end-to-end latency.
+	Born float64
+}
+
+// Config tunes the runtime's physical constants.
+type Config struct {
+	// ComputePerPlan is coordinator CPU seconds per candidate solution
+	// examined during planning; deployment time scales with search space.
+	ComputePerPlan float64
+	// HopOverhead is per-message processing overhead in seconds added to
+	// propagation delay for protocol messages.
+	HopOverhead float64
+	// Window is the join window in seconds for symmetric hash joins.
+	Window float64
+	// KeyDomain is the number of distinct join-key values; the empirical
+	// pairwise join selectivity is Window/KeyDomain per second of window.
+	KeyDomain int64
+	// TupleSize is the size of base tuples in cost units.
+	TupleSize float64
+}
+
+// DefaultConfig mirrors the scale of the paper's testbed: millisecond
+// link latencies dominate, planning costs microseconds per candidate.
+func DefaultConfig() Config {
+	return Config{
+		ComputePerPlan: 2e-6,
+		HopOverhead:    0.0005,
+		Window:         10,
+		KeyDomain:      1000,
+		TupleSize:      100,
+	}
+}
+
+type opKey struct {
+	sig  string
+	node netgraph.NodeID
+}
+
+type side int
+
+const (
+	leftSide side = iota
+	rightSide
+)
+
+// subscription routes an operator's output to a consumer.
+type subscription struct {
+	dst  opKey
+	side side
+	sink int // query ID when >= 0: deliver to that query's sink counter
+	to   netgraph.NodeID
+}
+
+// Operator is a deployed stream operator: a base-stream tap (no
+// children), a windowed symmetric hash join, or a residual filter
+// narrowing a contained stream to a stricter query's predicates.
+type Operator struct {
+	key    opKey
+	isBase bool
+	rate   float64 // base emission rate, tuples/sec (base taps only)
+
+	// isFilter marks residual filters; passProb is the fraction of
+	// upstream tuples satisfying the extra predicates.
+	isFilter bool
+	passProb float64
+
+	// isAgg marks windowed aggregations; one summary tuple is emitted per
+	// tumbling window that saw input.
+	isAgg     bool
+	aggWindow float64
+	aggCount  int64
+	aggBorn   float64
+	aggNext   float64
+
+	// expRate is the operator's expected output rate in the planner's
+	// cost model, used to derive filter pass probabilities.
+	expRate float64
+
+	window      float64
+	left, right []Tuple
+	subs        []subscription
+	refs        int // deployments using this operator
+
+	// OutCount / OutBytes measure produced output.
+	OutCount int64
+	OutBytes float64
+}
+
+// SinkStats accumulates per-query delivery statistics.
+type SinkStats struct {
+	Node       netgraph.NodeID
+	Tuples     int64
+	Bytes      float64
+	LatencySum float64
+}
+
+// Runtime is the simulated IFLOW deployment substrate.
+type Runtime struct {
+	Sim   *des.Sim
+	G     *netgraph.Graph
+	Cost  *netgraph.Paths // cost-metric paths: stream routing + accounting
+	Delay *netgraph.Paths // delay-metric paths: message latency
+
+	cfg Config
+	rng *rand.Rand
+
+	ops     map[opKey]*Operator
+	sinks   map[int]*SinkStats
+	deploys map[int][]opKey // per query: operators it holds references on
+
+	// TotalCost is the accumulated bytes×link-cost of all transfers; the
+	// deployed cost per unit time is TotalCost / elapsed time.
+	TotalCost  float64
+	TotalBytes float64
+}
+
+// New builds a runtime over a network. Streams route along cost-shortest
+// paths; protocol messages along delay-shortest paths.
+func New(g *netgraph.Graph, cfg Config, seed int64) *Runtime {
+	return &Runtime{
+		Sim:     des.New(),
+		G:       g,
+		Cost:    g.ShortestPaths(netgraph.MetricCost),
+		Delay:   g.ShortestPaths(netgraph.MetricDelay),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		ops:     map[opKey]*Operator{},
+		sinks:   map[int]*SinkStats{},
+		deploys: map[int][]opKey{},
+	}
+}
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// transfer accounts and schedules a tuple moving between two nodes, then
+// invokes deliver at the destination's arrival time.
+func (rt *Runtime) transfer(from, to netgraph.NodeID, t Tuple, deliver func(Tuple)) {
+	if from != to {
+		rt.TotalCost += t.Size * rt.Cost.Dist(from, to)
+		rt.TotalBytes += t.Size
+	}
+	delay := rt.Delay.Dist(from, to)
+	rt.Sim.Schedule(delay, func() { deliver(t) })
+}
+
+// emit fans an operator's output tuple out to all subscribers.
+func (rt *Runtime) emit(op *Operator, t Tuple) {
+	op.OutCount++
+	op.OutBytes += t.Size
+	for _, sub := range op.subs {
+		sub := sub
+		if sub.sink >= 0 {
+			stats := rt.sinks[sub.sink]
+			rt.transfer(op.key.node, sub.to, t, func(d Tuple) {
+				stats.Tuples++
+				stats.Bytes += d.Size
+				stats.LatencySum += rt.Sim.Now() - d.Born
+			})
+			continue
+		}
+		dst := rt.ops[sub.dst]
+		if dst == nil {
+			continue // consumer undeployed mid-flight
+		}
+		s := sub.side
+		rt.transfer(op.key.node, sub.to, t, func(d Tuple) { rt.receive(dst, s, d) })
+	}
+}
+
+// receive runs one operator step: residual filters pass tuples
+// probabilistically; joins expire their window, probe the opposite side,
+// emit matches, and insert.
+func (rt *Runtime) receive(op *Operator, s side, t Tuple) {
+	if rt.ops[op.key] != op {
+		return // operator was undeployed while the tuple was in flight
+	}
+	if op.isFilter {
+		if rt.rng.Float64() < op.passProb {
+			rt.emit(op, t)
+		}
+		return
+	}
+	if op.isAgg {
+		now := rt.Sim.Now()
+		if now >= op.aggNext && op.aggCount > 0 {
+			rt.emit(op, Tuple{Key: op.aggCount, Size: rt.cfg.TupleSize, Born: op.aggBorn})
+			op.aggCount, op.aggBorn = 0, 0
+		}
+		if op.aggCount == 0 {
+			op.aggBorn = t.Born
+			op.aggNext = now + op.aggWindow
+		}
+		op.aggCount++
+		return
+	}
+	now := rt.Sim.Now()
+	op.left = expire(op.left, now-op.window)
+	op.right = expire(op.right, now-op.window)
+	mine, other := &op.left, &op.right
+	if s == rightSide {
+		mine, other = &op.right, &op.left
+	}
+	for _, o := range *other {
+		if o.Key == t.Key {
+			// Join outputs are projected to the fixed tuple width, keeping
+			// data rates in the same units as the analytic cost model.
+			out := Tuple{Key: t.Key, Size: rt.cfg.TupleSize, Born: min64(t.Born, o.Born)}
+			rt.emit(op, out)
+		}
+	}
+	*mine = append(*mine, t)
+}
+
+func expire(w []Tuple, horizon float64) []Tuple {
+	i := 0
+	for i < len(w) && w[i].Born < horizon {
+		i++
+	}
+	if i == 0 {
+		return w
+	}
+	return append(w[:0], w[i:]...)
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// StartSource registers a base stream tap at its node and schedules
+// Poisson tuple emissions at the given rate (tuples per second) for the
+// lifetime of the simulation window driven by RunFor.
+func (rt *Runtime) StartSource(sig string, node netgraph.NodeID, rate float64, until float64) (*Operator, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("iflow: non-positive rate %g for source %s", rate, sig)
+	}
+	key := opKey{sig: sig, node: node}
+	if _, ok := rt.ops[key]; ok {
+		return nil, fmt.Errorf("iflow: source %s@%d already registered", sig, node)
+	}
+	op := &Operator{key: key, isBase: true, rate: rate, expRate: rate}
+	rt.ops[key] = op
+	var tick func()
+	tick = func() {
+		if rt.Sim.Now() >= until || rt.ops[key] != op {
+			return
+		}
+		t := Tuple{
+			Key:  rt.rng.Int63n(rt.cfg.KeyDomain),
+			Size: rt.cfg.TupleSize,
+			Born: rt.Sim.Now(),
+		}
+		rt.emit(op, t)
+		rt.Sim.Schedule(rt.rng.ExpFloat64()/rate, tick)
+	}
+	rt.Sim.Schedule(rt.rng.ExpFloat64()/rate, tick)
+	return op, nil
+}
+
+// Operator returns the deployed operator with the given signature at the
+// given node, or nil.
+func (rt *Runtime) Operator(sig string, node netgraph.NodeID) *Operator {
+	return rt.ops[opKey{sig: sig, node: node}]
+}
+
+// NumOperators returns the number of live operators (including base taps).
+func (rt *Runtime) NumOperators() int { return len(rt.ops) }
+
+// Sink returns the delivery statistics for a query (nil before Deploy).
+func (rt *Runtime) Sink(queryID int) *SinkStats { return rt.sinks[queryID] }
+
+// RunFor advances the simulation by d seconds of virtual time.
+func (rt *Runtime) RunFor(d float64) { rt.Sim.RunUntil(rt.Sim.Now() + d) }
+
+// CostRate returns accumulated transfer cost divided by elapsed time —
+// the measured analogue of the optimizers' cost-per-unit-time objective.
+func (rt *Runtime) CostRate() float64 {
+	if rt.Sim.Now() == 0 {
+		return 0
+	}
+	return rt.TotalCost / rt.Sim.Now()
+}

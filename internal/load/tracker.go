@@ -1,0 +1,62 @@
+// Package load tracks the processing load deployed operators place on
+// physical nodes and turns it into a planning penalty, implementing the
+// paper's motivating scenario "node N2 may be overloaded ... the network
+// conditions dictate a more efficient join ordering": optimizers that plan
+// with a load penalty steer new operators away from hot nodes.
+package load
+
+import (
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// Tracker accumulates per-node processing load, measured as the total
+// input rate of the operators placed on each node (the work a symmetric
+// hash join performs is proportional to its input rates).
+type Tracker struct {
+	load map[netgraph.NodeID]float64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{load: map[netgraph.NodeID]float64{}}
+}
+
+// Load returns the tracked input rate on a node.
+func (t *Tracker) Load(v netgraph.NodeID) float64 { return t.load[v] }
+
+// AddPlan accounts a deployed plan: every operator adds its children's
+// output rates to its node. Derived leaves add nothing (the reused
+// operator's load is already accounted by its own deployment).
+func (t *Tracker) AddPlan(plan *query.PlanNode) {
+	for _, op := range plan.Operators() {
+		t.load[op.Loc] += op.InputRate()
+	}
+}
+
+// RemovePlan reverses AddPlan for an undeployed plan.
+func (t *Tracker) RemovePlan(plan *query.PlanNode) {
+	for _, op := range plan.Operators() {
+		t.load[op.Loc] -= op.InputRate()
+		if t.load[op.Loc] <= 1e-12 {
+			delete(t.load, op.Loc)
+		}
+	}
+}
+
+// AddRaw adds synthetic background load to a node (e.g. an overloaded
+// enterprise server).
+func (t *Tracker) AddRaw(v netgraph.NodeID, inRate float64) {
+	t.load[v] += inRate
+}
+
+// Penalty returns a planning penalty function: placing an operator with
+// the given input rate on node v costs alpha × currentLoad(v) × inRate
+// extra — linear congestion pricing. Pass the result as core.Options.
+// Penalty. The returned closure reads the tracker live, so penalties
+// follow deployments.
+func (t *Tracker) Penalty(alpha float64) func(v netgraph.NodeID, inRate float64) float64 {
+	return func(v netgraph.NodeID, inRate float64) float64 {
+		return alpha * t.load[v] * inRate
+	}
+}

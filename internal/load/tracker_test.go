@@ -1,0 +1,64 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"hnp/internal/query"
+)
+
+func samplePlan() *query.PlanNode {
+	l0 := query.Leaf(query.Input{Mask: 1, Rate: 10, Loc: 0, Sig: "0"})
+	l1 := query.Leaf(query.Input{Mask: 2, Rate: 20, Loc: 4, Sig: "1"})
+	j := query.Join(l0, l1, 2, 5)
+	l2 := query.Leaf(query.Input{Mask: 4, Rate: 7, Loc: 6, Sig: "2"})
+	return query.Join(j, l2, 2, 1)
+}
+
+func TestAddRemovePlan(t *testing.T) {
+	tr := NewTracker()
+	p := samplePlan()
+	tr.AddPlan(p)
+	// Node 2 hosts both joins: inputs 10+20 and 5+7.
+	if got := tr.Load(2); math.Abs(got-42) > 1e-9 {
+		t.Errorf("Load(2) = %g, want 42", got)
+	}
+	if tr.Load(0) != 0 {
+		t.Error("leaf node accrued load")
+	}
+	tr.RemovePlan(p)
+	if tr.Load(2) != 0 {
+		t.Errorf("load not released: %g", tr.Load(2))
+	}
+}
+
+func TestDerivedLeafAddsNothing(t *testing.T) {
+	tr := NewTracker()
+	d := query.Leaf(query.Input{Mask: 3, Rate: 5, Loc: 1, Derived: true, Sig: "0|1"})
+	l2 := query.Leaf(query.Input{Mask: 4, Rate: 7, Loc: 6, Sig: "2"})
+	p := query.Join(d, l2, 3, 1)
+	tr.AddPlan(p)
+	if tr.Load(1) != 0 {
+		t.Error("derived leaf charged its producer again")
+	}
+	if got := tr.Load(3); math.Abs(got-12) > 1e-9 {
+		t.Errorf("Load(3) = %g, want 12", got)
+	}
+}
+
+func TestPenaltyLinearInLoad(t *testing.T) {
+	tr := NewTracker()
+	tr.AddRaw(5, 100)
+	pen := tr.Penalty(0.5)
+	if got := pen(5, 10); math.Abs(got-0.5*100*10) > 1e-9 {
+		t.Errorf("penalty = %g", got)
+	}
+	if pen(6, 10) != 0 {
+		t.Error("unloaded node penalized")
+	}
+	// Live view: growing load grows the penalty through the same closure.
+	tr.AddRaw(5, 100)
+	if got := pen(5, 10); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("closure not live: %g", got)
+	}
+}

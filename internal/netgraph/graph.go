@@ -1,0 +1,219 @@
+// Package netgraph provides the physical network substrate used by the
+// stream-query optimizers: a weighted undirected graph whose links carry a
+// per-byte transfer cost and a propagation delay, shortest-path machinery,
+// and synthetic topology generators modeled on the GT-ITM transit-stub
+// internetwork model the paper evaluates on.
+package netgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a physical network node. IDs are dense: a graph with n
+// nodes uses IDs 0..n-1.
+type NodeID int
+
+// Link is an undirected physical link between two nodes.
+type Link struct {
+	A, B NodeID
+	// Cost is the cost of transferring one unit of data (byte) across the
+	// link. Deployment cost of a query plan is data rate times path cost.
+	Cost float64
+	// Delay is the one-way propagation delay in seconds, used by the IFLOW
+	// runtime to simulate protocol message latency.
+	Delay float64
+}
+
+type halfEdge struct {
+	to    NodeID
+	cost  float64
+	delay float64
+}
+
+// Graph is a weighted undirected network graph. The zero value is not
+// usable; create graphs with New.
+type Graph struct {
+	adj     [][]halfEdge
+	nLinks  int
+	version int // bumped on every mutation so path caches can detect staleness
+}
+
+// New returns an empty graph with n nodes and no links.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("netgraph: negative node count")
+	}
+	return &Graph{adj: make([][]halfEdge, n)}
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumLinks returns the number of undirected links.
+func (g *Graph) NumLinks() int { return g.nLinks }
+
+// Version returns a counter that is incremented by every mutation. Path
+// snapshots record the version they were computed against.
+func (g *Graph) Version() int { return g.version }
+
+func (g *Graph) check(v NodeID) error {
+	if v < 0 || int(v) >= len(g.adj) {
+		return fmt.Errorf("netgraph: node %d out of range [0,%d)", v, len(g.adj))
+	}
+	return nil
+}
+
+// AddLink adds an undirected link between a and b. It is an error to link a
+// node to itself, to use an out-of-range node, to use a non-positive cost,
+// or to add a duplicate link.
+func (g *Graph) AddLink(a, b NodeID, cost, delay float64) error {
+	if err := g.check(a); err != nil {
+		return err
+	}
+	if err := g.check(b); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("netgraph: self-link at node %d", a)
+	}
+	if cost <= 0 {
+		return fmt.Errorf("netgraph: non-positive link cost %g", cost)
+	}
+	if delay < 0 {
+		return fmt.Errorf("netgraph: negative link delay %g", delay)
+	}
+	if g.HasLink(a, b) {
+		return fmt.Errorf("netgraph: duplicate link %d-%d", a, b)
+	}
+	g.adj[a] = append(g.adj[a], halfEdge{b, cost, delay})
+	g.adj[b] = append(g.adj[b], halfEdge{a, cost, delay})
+	g.nLinks++
+	g.version++
+	return nil
+}
+
+// MustAddLink is AddLink but panics on error. Topology generators use it
+// for links that are correct by construction.
+func (g *Graph) MustAddLink(a, b NodeID, cost, delay float64) {
+	if err := g.AddLink(a, b, cost, delay); err != nil {
+		panic(err)
+	}
+}
+
+// HasLink reports whether an a-b link exists.
+func (g *Graph) HasLink(a, b NodeID) bool {
+	if a < 0 || int(a) >= len(g.adj) {
+		return false
+	}
+	for _, e := range g.adj[a] {
+		if e.to == b {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkCost returns the cost of the direct a-b link, or false if absent.
+func (g *Graph) LinkCost(a, b NodeID) (float64, bool) {
+	if a < 0 || int(a) >= len(g.adj) {
+		return 0, false
+	}
+	for _, e := range g.adj[a] {
+		if e.to == b {
+			return e.cost, true
+		}
+	}
+	return 0, false
+}
+
+// SetLinkCost updates the cost of an existing link in both directions. It
+// is used by the adaptive runtime to model changing network conditions.
+func (g *Graph) SetLinkCost(a, b NodeID, cost float64) error {
+	if cost <= 0 {
+		return fmt.Errorf("netgraph: non-positive link cost %g", cost)
+	}
+	found := false
+	for i := range g.adj[a] {
+		if g.adj[a][i].to == b {
+			g.adj[a][i].cost = cost
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("netgraph: no link %d-%d", a, b)
+	}
+	for i := range g.adj[b] {
+		if g.adj[b][i].to == a {
+			g.adj[b][i].cost = cost
+		}
+	}
+	g.version++
+	return nil
+}
+
+// Neighbors returns the IDs adjacent to v in insertion order.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	out := make([]NodeID, len(g.adj[v]))
+	for i, e := range g.adj[v] {
+		out[i] = e.to
+	}
+	return out
+}
+
+// Degree returns the number of links incident to v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Links returns all undirected links, each reported once with A < B, sorted
+// by (A, B) for deterministic iteration.
+func (g *Graph) Links() []Link {
+	out := make([]Link, 0, g.nLinks)
+	for a := range g.adj {
+		for _, e := range g.adj[a] {
+			if NodeID(a) < e.to {
+				out = append(out, Link{NodeID(a), e.to, e.cost, e.delay})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Connected reports whether every node is reachable from node 0. The empty
+// graph is connected.
+func (g *Graph) Connected() bool {
+	n := len(g.adj)
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				count++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return count == n
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]halfEdge, len(g.adj)), nLinks: g.nLinks, version: g.version}
+	for i, es := range g.adj {
+		c.adj[i] = append([]halfEdge(nil), es...)
+	}
+	return c
+}

@@ -1,0 +1,199 @@
+package netgraph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Metric selects which link weight shortest paths minimize.
+type Metric int
+
+const (
+	// MetricCost minimizes the summed per-byte transfer cost. Deployment
+	// cost calculations use this metric.
+	MetricCost Metric = iota
+	// MetricDelay minimizes summed propagation delay. The IFLOW runtime
+	// routes protocol messages along delay-shortest paths.
+	MetricDelay
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricCost:
+		return "cost"
+	case MetricDelay:
+		return "delay"
+	}
+	return "unknown"
+}
+
+// Paths is an immutable all-pairs shortest path snapshot of a graph under
+// one metric. It remembers the graph version it was computed against.
+type Paths struct {
+	metric  Metric
+	version int
+	n       int
+	dist    [][]float64
+	next    [][]int32 // next[a][b]: first hop from a toward b, -1 if unreachable
+}
+
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+func (g *Graph) weight(e halfEdge, m Metric) float64 {
+	if m == MetricDelay {
+		return e.delay
+	}
+	return e.cost
+}
+
+// Dijkstra computes single-source shortest distances and first hops from
+// src under metric m. Unreachable nodes get +Inf distance and first hop -1.
+func (g *Graph) Dijkstra(src NodeID, m Metric) (dist []float64, firstHop []int32) {
+	n := len(g.adj)
+	dist = make([]float64, n)
+	firstHop = make([]int32, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		firstHop[i] = -1
+	}
+	dist[src] = 0
+	q := pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + g.weight(e, m)
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				if it.node == src {
+					firstHop[e.to] = int32(e.to)
+				} else {
+					firstHop[e.to] = firstHop[it.node]
+				}
+				heap.Push(&q, pqItem{e.to, nd})
+			}
+		}
+	}
+	return dist, firstHop
+}
+
+// ShortestPaths computes an all-pairs snapshot under metric m by running
+// Dijkstra from every node (the graphs here are sparse, so this beats
+// Floyd-Warshall for the 1024-node topologies in the scalability study).
+func (g *Graph) ShortestPaths(m Metric) *Paths {
+	n := len(g.adj)
+	p := &Paths{metric: m, version: g.version, n: n,
+		dist: make([][]float64, n), next: make([][]int32, n)}
+	for v := 0; v < n; v++ {
+		p.dist[v], p.next[v] = g.Dijkstra(NodeID(v), m)
+	}
+	return p
+}
+
+// Metric returns the metric the snapshot was computed under.
+func (p *Paths) Metric() Metric { return p.metric }
+
+// Version returns the graph version the snapshot was computed against.
+func (p *Paths) Version() int { return p.version }
+
+// Dist returns the shortest-path distance from a to b (+Inf if unreachable).
+func (p *Paths) Dist(a, b NodeID) float64 { return p.dist[a][b] }
+
+// Reachable reports whether b is reachable from a.
+func (p *Paths) Reachable(a, b NodeID) bool { return !math.IsInf(p.dist[a][b], 1) }
+
+// Path returns the node sequence of a shortest a→b path, including both
+// endpoints. It returns nil if b is unreachable from a.
+func (p *Paths) Path(a, b NodeID) []NodeID {
+	if a == b {
+		return []NodeID{a}
+	}
+	if p.next[a][b] < 0 {
+		return nil
+	}
+	out := []NodeID{a}
+	cur := a
+	for cur != b {
+		cur = NodeID(p.next[cur][b])
+		out = append(out, cur)
+		if len(out) > p.n {
+			// Defensive: corrupt next-hop table would loop forever.
+			panic("netgraph: next-hop cycle")
+		}
+	}
+	return out
+}
+
+// Hops returns the number of links on a shortest a→b path, or -1 if
+// unreachable.
+func (p *Paths) Hops(a, b NodeID) int {
+	path := p.Path(a, b)
+	if path == nil {
+		return -1
+	}
+	return len(path) - 1
+}
+
+// Eccentricity returns the maximum distance from v to any reachable node.
+func (p *Paths) Eccentricity(v NodeID) float64 {
+	max := 0.0
+	for u := 0; u < p.n; u++ {
+		if d := p.dist[v][u]; !math.IsInf(d, 1) && d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Medoid returns the member of set that minimizes the sum of distances to
+// all other members — the "most central" node, used as cluster coordinator.
+// It panics on an empty set.
+func (p *Paths) Medoid(set []NodeID) NodeID {
+	if len(set) == 0 {
+		panic("netgraph: medoid of empty set")
+	}
+	best, bestSum := set[0], math.Inf(1)
+	for _, c := range set {
+		sum := 0.0
+		for _, o := range set {
+			sum += p.dist[c][o]
+		}
+		if sum < bestSum {
+			best, bestSum = c, sum
+		}
+	}
+	return best
+}
+
+// MaxPairwise returns the maximum pairwise distance within set (0 for sets
+// of size < 2). Hierarchy levels use it as the intra-cluster traversal cost
+// bound d_i of Theorem 1.
+func (p *Paths) MaxPairwise(set []NodeID) float64 {
+	max := 0.0
+	for i, a := range set {
+		for _, b := range set[i+1:] {
+			if d := p.dist[a][b]; d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,70 @@
+package query
+
+import (
+	"fmt"
+
+	"hnp/internal/netgraph"
+)
+
+// This file adds windowed aggregation — the operator class the paper
+// explicitly defers ("We leave queries involving aggregations and unions
+// to future work"). An aggregate is a unary operator applied to the
+// query's join result: it consumes the full-rate joined stream and emits
+// one summary tuple per tumbling window, so placing it close to the join
+// root collapses the downstream rate.
+
+// AggSpec describes a windowed aggregation over the query result.
+type AggSpec struct {
+	// Fn names the aggregate function (count, sum, avg, max, min); the
+	// simulator treats them identically (one summary tuple per window).
+	Fn string
+	// Window is the tumbling window length in seconds.
+	Window float64
+	// OutRate is the expected output rate in the same cost units as
+	// stream rates (typically tupleSize/Window).
+	OutRate float64
+}
+
+// Valid reports whether the spec is usable.
+func (a AggSpec) Valid() bool { return a.Fn != "" && a.Window > 0 && a.OutRate > 0 }
+
+// Sig returns the canonical signature fragment of the aggregation.
+func (a AggSpec) Sig() string { return fmt.Sprintf("agg:%s:%g", a.Fn, a.Window) }
+
+// NewQueryAgg builds a query whose join result is aggregated before
+// delivery.
+func NewQueryAgg(id int, sources []StreamID, sink netgraph.NodeID, preds PredSet, agg AggSpec) (*Query, error) {
+	q, err := NewQueryPred(id, sources, sink, preds)
+	if err != nil {
+		return nil, err
+	}
+	if !agg.Valid() {
+		return nil, fmt.Errorf("query %d: invalid aggregate %+v", id, agg)
+	}
+	cp := agg
+	q.Agg = &cp
+	return q, nil
+}
+
+// AggSig returns the signature of the query's aggregated output stream.
+// It panics when the query has no aggregate.
+func (q *Query) AggSig() string {
+	if q.Agg == nil {
+		panic("query: AggSig on a query without an aggregate")
+	}
+	return q.SigOf(q.All()) + "@" + q.Agg.Sig()
+}
+
+// UnarySpec marks a plan node as a unary operator (aggregation) applied
+// to its single child.
+type UnarySpec struct {
+	Agg AggSpec
+	// Sig is the canonical signature of the unary operator's output.
+	Sig string
+}
+
+// NewUnary wraps a child plan in a unary operator placed at loc emitting
+// at the given rate.
+func NewUnary(child *PlanNode, spec UnarySpec, loc netgraph.NodeID, rate float64) *PlanNode {
+	return &PlanNode{Mask: child.Mask, Rate: rate, Loc: loc, L: child, Unary: &spec}
+}

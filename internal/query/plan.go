@@ -1,0 +1,204 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"hnp/internal/netgraph"
+)
+
+// DistFunc measures the traversal cost between two physical nodes. The
+// optimizers plan against either exact shortest-path costs or the
+// hierarchy's per-level estimates.
+type DistFunc func(a, b netgraph.NodeID) float64
+
+// Input is a stream available to a planner: either a base stream source,
+// or a derived stream (the advertised output of an already-deployed
+// operator, reusable at no upstream cost).
+type Input struct {
+	// Mask is the set of query source positions this input covers. Base
+	// inputs cover one position; derived inputs may cover several.
+	Mask Mask
+	// Rate is the expected output rate.
+	Rate float64
+	// Loc is the physical node where the input is materialized.
+	Loc netgraph.NodeID
+	// Derived marks reused operator outputs.
+	Derived bool
+	// Sig is the canonical signature of the covered streams (including
+	// the consuming query's predicates).
+	Sig string
+	// BaseSig, when non-empty, names the weaker materialized stream this
+	// input is derived from by containment: the runtime attaches a
+	// residual filter at Loc that narrows BaseSig's output to Sig.
+	BaseSig string
+}
+
+// PlanNode is one node of a deployed operator tree: a leaf consuming an
+// Input, or a join of two children placed at a physical node.
+type PlanNode struct {
+	Mask Mask
+	Rate float64
+	// Loc is where the node's output is materialized: the input location
+	// for leaves, the assigned processing node for joins.
+	Loc netgraph.NodeID
+	// In is non-nil exactly for leaves.
+	In *Input
+	// Unary is non-nil for unary operators (aggregations); such nodes use
+	// only the L child.
+	Unary *UnarySpec
+	// L, R are the children of a join node (R is nil under Unary).
+	L, R *PlanNode
+}
+
+// Leaf builds a leaf plan node from an input.
+func Leaf(in Input) *PlanNode {
+	cp := in
+	return &PlanNode{Mask: in.Mask, Rate: in.Rate, Loc: in.Loc, In: &cp}
+}
+
+// Join builds a join node over two children, placed at loc with the given
+// output rate.
+func Join(l, r *PlanNode, loc netgraph.NodeID, rate float64) *PlanNode {
+	return &PlanNode{Mask: l.Mask | r.Mask, Rate: rate, Loc: loc, L: l, R: r}
+}
+
+// IsLeaf reports whether p consumes an input directly.
+func (p *PlanNode) IsLeaf() bool { return p.In != nil }
+
+// IsUnary reports whether p is a unary operator (aggregation).
+func (p *PlanNode) IsUnary() bool { return p.Unary != nil }
+
+// InternalCost returns the communication cost per unit time of all
+// transfers inside the plan: for every join, each child's output rate
+// times the distance from the child's location to the join's node. The
+// final delivery to the sink is excluded (see Cost).
+func (p *PlanNode) InternalCost(dist DistFunc) float64 {
+	if p.IsLeaf() {
+		return 0
+	}
+	if p.IsUnary() {
+		return p.L.InternalCost(dist) + p.L.Rate*dist(p.L.Loc, p.Loc)
+	}
+	c := p.L.InternalCost(dist) + p.R.InternalCost(dist)
+	c += p.L.Rate * dist(p.L.Loc, p.Loc)
+	c += p.R.Rate * dist(p.R.Loc, p.Loc)
+	return c
+}
+
+// Cost returns InternalCost plus the cost of delivering the root output to
+// the sink.
+func (p *PlanNode) Cost(dist DistFunc, sink netgraph.NodeID) float64 {
+	return p.InternalCost(dist) + p.Rate*dist(p.Loc, sink)
+}
+
+// Operators returns all operator nodes (joins and unaries) of the plan in
+// post-order.
+func (p *PlanNode) Operators() []*PlanNode {
+	var out []*PlanNode
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		walk(n.L)
+		walk(n.R)
+		out = append(out, n)
+	}
+	walk(p)
+	return out
+}
+
+// InputRate returns the total input rate of an operator node: both
+// children's rates for a join, the single child's rate for a unary.
+func (p *PlanNode) InputRate() float64 {
+	if p.IsLeaf() {
+		return 0
+	}
+	if p.IsUnary() {
+		return p.L.Rate
+	}
+	return p.L.Rate + p.R.Rate
+}
+
+// Leaves returns all leaf nodes of the plan in left-to-right order.
+func (p *PlanNode) Leaves() []*PlanNode {
+	var out []*PlanNode
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		walk(n.L)
+		walk(n.R)
+	}
+	walk(p)
+	return out
+}
+
+// Validate checks structural consistency: children masks are disjoint and
+// compose the parent mask, and leaves carry inputs.
+func (p *PlanNode) Validate() error {
+	if p.IsLeaf() {
+		if p.Mask != p.In.Mask {
+			return fmt.Errorf("plan: leaf mask %b != input mask %b", p.Mask, p.In.Mask)
+		}
+		return nil
+	}
+	if p.IsUnary() {
+		if p.L == nil || p.R != nil {
+			return fmt.Errorf("plan: unary must have exactly one child")
+		}
+		if p.Mask != p.L.Mask {
+			return fmt.Errorf("plan: unary mask %b != child mask %b", p.Mask, p.L.Mask)
+		}
+		return p.L.Validate()
+	}
+	if p.L == nil || p.R == nil {
+		return fmt.Errorf("plan: join with missing child")
+	}
+	if p.L.Mask&p.R.Mask != 0 {
+		return fmt.Errorf("plan: overlapping child masks %b and %b", p.L.Mask, p.R.Mask)
+	}
+	if p.L.Mask|p.R.Mask != p.Mask {
+		return fmt.Errorf("plan: children cover %b, node claims %b", p.L.Mask|p.R.Mask, p.Mask)
+	}
+	if err := p.L.Validate(); err != nil {
+		return err
+	}
+	return p.R.Validate()
+}
+
+// String renders the plan as a nested expression with placements, e.g.
+// "((s0@3 ⋈@5 s1@4) ⋈@5 s2@9)".
+func (p *PlanNode) String() string {
+	var b strings.Builder
+	p.render(&b)
+	return b.String()
+}
+
+func (p *PlanNode) render(b *strings.Builder) {
+	if p.IsLeaf() {
+		kind := "s"
+		if p.In.Derived {
+			kind = "d"
+		}
+		fmt.Fprintf(b, "%s[%s]@%d", kind, p.In.Sig, p.Loc)
+		return
+	}
+	if p.IsUnary() {
+		fmt.Fprintf(b, "%s@%d(", p.Unary.Agg.Sig(), p.Loc)
+		p.L.render(b)
+		b.WriteByte(')')
+		return
+	}
+	b.WriteByte('(')
+	p.L.render(b)
+	fmt.Fprintf(b, " ⋈@%d ", p.Loc)
+	p.R.render(b)
+	b.WriteByte(')')
+}

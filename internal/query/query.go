@@ -1,0 +1,182 @@
+package query
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hnp/internal/netgraph"
+)
+
+// MaxSources bounds the number of sources per query; subset tables are
+// sized 2^K, and the paper's workloads use 2-6 sources per query.
+const MaxSources = 16
+
+// Mask is a bitmask over the source positions of one query (bit i set
+// means the i-th source of the query is covered).
+type Mask uint32
+
+// Has reports whether position i is in the mask.
+func (m Mask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Count returns the number of covered positions.
+func (m Mask) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// Positions returns the covered positions in ascending order.
+func (m Mask) Positions() []int {
+	out := make([]int, 0, m.Count())
+	for i := 0; m != 0; i, m = i+1, m>>1 {
+		if m&1 != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FullMask returns the mask covering positions 0..k-1.
+func FullMask(k int) Mask { return Mask(1<<uint(k)) - 1 }
+
+// Query is a continuous SPJ query joining a set of base streams, with the
+// result delivered to a sink node.
+type Query struct {
+	ID      int
+	Sources []StreamID
+	Sink    netgraph.NodeID
+	// Preds are the query's selection predicates; the zero value means
+	// unconstrained. Predicates participate in signatures, rates and
+	// containment-based reuse.
+	Preds PredSet
+	// Agg, when non-nil, applies a windowed aggregation to the join
+	// result before delivery.
+	Agg *AggSpec
+}
+
+// NewQuery validates and builds a query. Sources must be non-empty,
+// distinct and at most MaxSources.
+func NewQuery(id int, sources []StreamID, sink netgraph.NodeID) (*Query, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("query %d: no sources", id)
+	}
+	if len(sources) > MaxSources {
+		return nil, fmt.Errorf("query %d: %d sources exceeds limit %d", id, len(sources), MaxSources)
+	}
+	seen := map[StreamID]bool{}
+	for _, s := range sources {
+		if seen[s] {
+			return nil, fmt.Errorf("query %d: duplicate source %d", id, s)
+		}
+		seen[s] = true
+	}
+	return &Query{ID: id, Sources: append([]StreamID(nil), sources...), Sink: sink}, nil
+}
+
+// NewQueryPred builds a query with selection predicates. Every predicate
+// must constrain one of the query's source streams.
+func NewQueryPred(id int, sources []StreamID, sink netgraph.NodeID, preds PredSet) (*Query, error) {
+	q, err := NewQuery(id, sources, sink)
+	if err != nil {
+		return nil, err
+	}
+	srcs := map[StreamID]bool{}
+	for _, s := range sources {
+		srcs[s] = true
+	}
+	for _, p := range preds.Preds() {
+		if !srcs[p.Stream] {
+			return nil, fmt.Errorf("query %d: predicate on foreign stream %d", id, p.Stream)
+		}
+	}
+	q.Preds = preds
+	return q, nil
+}
+
+// K returns the number of source streams.
+func (q *Query) K() int { return len(q.Sources) }
+
+// All returns the mask covering every source.
+func (q *Query) All() Mask { return FullMask(q.K()) }
+
+// StreamsOf maps a mask to the global stream IDs it covers.
+func (q *Query) StreamsOf(m Mask) []StreamID {
+	ps := m.Positions()
+	out := make([]StreamID, len(ps))
+	for i, p := range ps {
+		out[i] = q.Sources[p]
+	}
+	return out
+}
+
+// SigOf returns the canonical signature of the sub-join covered by m,
+// including the query's predicates on the covered streams (so operators
+// computed under different predicates never alias). Predicate-free
+// queries keep the plain stream signature.
+func (q *Query) SigOf(m Mask) string {
+	streams := q.StreamsOf(m)
+	base := SigOf(streams)
+	if ps := q.Preds.Restrict(streams); !ps.Empty() {
+		return base + "#" + ps.Sig()
+	}
+	return base
+}
+
+// MaskOf returns the mask of positions corresponding to a set of global
+// stream IDs, and false if any of them is not a source of this query.
+func (q *Query) MaskOf(ids []StreamID) (Mask, bool) {
+	pos := map[StreamID]int{}
+	for i, s := range q.Sources {
+		pos[s] = i
+	}
+	var m Mask
+	for _, id := range ids {
+		p, ok := pos[id]
+		if !ok {
+			return 0, false
+		}
+		m |= 1 << uint(p)
+	}
+	return m, true
+}
+
+// RateTable precomputes the expected output rate of every sub-join of one
+// query: rate(S) = Π_{i∈S} rate_i × Π_{i<j∈S} sel(i,j). Indexed by Mask.
+type RateTable []float64
+
+// BuildRates computes the rate table for q against the catalog.
+func BuildRates(cat *Catalog, q *Query) RateTable {
+	k := q.K()
+	t := make(RateTable, 1<<uint(k))
+	t[0] = 0
+	for m := Mask(1); m < Mask(1<<uint(k)); m++ {
+		ps := m.Positions()
+		if len(ps) == 1 {
+			sid := q.Sources[ps[0]]
+			t[m] = cat.Stream(sid).Rate * q.Preds.StreamSelectivity(sid)
+			continue
+		}
+		// Split off the lowest position and combine with the rest.
+		low := ps[0]
+		rest := m &^ (1 << uint(low))
+		cross := 1.0
+		for _, p := range rest.Positions() {
+			cross *= cat.Selectivity(q.Sources[low], q.Sources[p])
+		}
+		t[m] = t[1<<uint(low)] * t[rest] * cross
+	}
+	return t
+}
+
+// Rate returns the expected output rate of the sub-join covered by m.
+func (t RateTable) Rate(m Mask) float64 { return t[m] }
+
+// NumTrees returns the number of distinct (possibly bushy) join trees over
+// k leaves: (2k-3)!! — 1, 1, 3, 15, 105, 945, ... This is the per-plan
+// factor in the Lemma 1 search-space size.
+func NumTrees(k int) int64 {
+	if k < 1 {
+		return 0
+	}
+	n := int64(1)
+	for f := int64(2*k - 3); f >= 3; f -= 2 {
+		n *= f
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+// Package query models distributed continuous select-project-join queries:
+// stream sources with rates and pairwise join selectivities, queries over
+// subsets of streams delivered to sinks, and operator plan trees with
+// physical placements. It is the shared vocabulary of every optimizer in
+// this repository.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hnp/internal/netgraph"
+)
+
+// StreamID identifies a base stream source in the catalog.
+type StreamID int
+
+// Stream is a base data stream: a named source producing data at a fixed
+// expected rate (in cost units per unit time, e.g. bytes/sec) from one
+// physical network node.
+type Stream struct {
+	ID     StreamID
+	Name   string
+	Rate   float64
+	Source netgraph.NodeID
+}
+
+type selKey struct{ a, b StreamID }
+
+func mkSelKey(a, b StreamID) selKey {
+	if a > b {
+		a, b = b, a
+	}
+	return selKey{a, b}
+}
+
+// Catalog holds every base stream in the system together with the pairwise
+// join selectivities the optimizers estimate costs with ("estimated
+// selectivities of the query operators, measured online or using gathered
+// statistics").
+type Catalog struct {
+	streams []Stream
+	sel     map[selKey]float64
+	// DefaultSel is the selectivity assumed for stream pairs without an
+	// explicit entry.
+	DefaultSel float64
+}
+
+// NewCatalog returns an empty catalog with the given default selectivity.
+func NewCatalog(defaultSel float64) *Catalog {
+	return &Catalog{sel: map[selKey]float64{}, DefaultSel: defaultSel}
+}
+
+// Add registers a stream and returns its ID.
+func (c *Catalog) Add(name string, rate float64, source netgraph.NodeID) StreamID {
+	id := StreamID(len(c.streams))
+	c.streams = append(c.streams, Stream{ID: id, Name: name, Rate: rate, Source: source})
+	return id
+}
+
+// NumStreams returns the number of registered streams.
+func (c *Catalog) NumStreams() int { return len(c.streams) }
+
+// Stream returns the stream with the given ID.
+func (c *Catalog) Stream(id StreamID) Stream {
+	if id < 0 || int(id) >= len(c.streams) {
+		panic(fmt.Sprintf("query: stream %d out of range", id))
+	}
+	return c.streams[id]
+}
+
+// SetRate updates a stream's expected rate — how measured statistics are
+// fed back into the planning model.
+func (c *Catalog) SetRate(id StreamID, rate float64) {
+	if id < 0 || int(id) >= len(c.streams) {
+		panic(fmt.Sprintf("query: stream %d out of range", id))
+	}
+	if rate < 0 {
+		panic(fmt.Sprintf("query: negative rate %g", rate))
+	}
+	c.streams[id].Rate = rate
+}
+
+// SetSelectivity records the join selectivity between streams a and b
+// (order-insensitive).
+func (c *Catalog) SetSelectivity(a, b StreamID, sel float64) {
+	if sel < 0 {
+		panic(fmt.Sprintf("query: negative selectivity %g", sel))
+	}
+	c.sel[mkSelKey(a, b)] = sel
+}
+
+// Selectivity returns the join selectivity between streams a and b,
+// falling back to DefaultSel.
+func (c *Catalog) Selectivity(a, b StreamID) float64 {
+	if s, ok := c.sel[mkSelKey(a, b)]; ok {
+		return s
+	}
+	return c.DefaultSel
+}
+
+// SigOf returns the canonical signature of a set of base streams: the
+// sorted IDs joined with '|'. Two subqueries over the same stream set have
+// the same signature; the advertisement registry is keyed by it.
+func SigOf(ids []StreamID) string {
+	sorted := append([]StreamID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	for i, id := range sorted {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.Itoa(int(id)))
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation: uniformly random stream rates, selectivities and source
+// placements, and queries with a bounded number of joins and random sink
+// placements.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// Config parameterizes one workload.
+type Config struct {
+	// Streams is the number of base stream sources.
+	Streams int
+	// Queries is the number of queries to generate.
+	Queries int
+	// MinSources/MaxSources bound the number of streams per query
+	// (joins per query = sources − 1; the paper uses 2-5 joins).
+	MinSources, MaxSources int
+	// RateLo/RateHi bound the uniform stream rates.
+	RateLo, RateHi float64
+	// SelLo/SelHi bound the uniform pairwise selectivities.
+	SelLo, SelHi float64
+}
+
+// Default returns the paper's standard workload shape: rates and
+// selectivities uniform, 2-5 joins per query.
+func Default(streams, queries int) Config {
+	return Config{
+		Streams: streams, Queries: queries,
+		MinSources: 3, MaxSources: 6, // 2-5 joins
+		RateLo: 1, RateHi: 100,
+		SelLo: 0.001, SelHi: 0.02,
+	}
+}
+
+// Workload is a generated catalog plus query set over a given network.
+type Workload struct {
+	Catalog *query.Catalog
+	Queries []*query.Query
+	Streams []query.StreamID
+}
+
+// Generate draws a workload for a network with n nodes. Identical seeds
+// give identical workloads.
+func Generate(cfg Config, n int, rng *rand.Rand) (*Workload, error) {
+	if cfg.Streams < 1 || n < 1 {
+		return nil, fmt.Errorf("workload: need at least one stream and one node")
+	}
+	if cfg.MinSources < 1 || cfg.MaxSources < cfg.MinSources {
+		return nil, fmt.Errorf("workload: bad source bounds [%d,%d]", cfg.MinSources, cfg.MaxSources)
+	}
+	if cfg.MaxSources > cfg.Streams {
+		return nil, fmt.Errorf("workload: queries over %d sources exceed %d streams",
+			cfg.MaxSources, cfg.Streams)
+	}
+	if cfg.MaxSources > query.MaxSources {
+		return nil, fmt.Errorf("workload: MaxSources %d exceeds limit %d", cfg.MaxSources, query.MaxSources)
+	}
+	cat := query.NewCatalog((cfg.SelLo + cfg.SelHi) / 2)
+	w := &Workload{Catalog: cat}
+	for i := 0; i < cfg.Streams; i++ {
+		rate := cfg.RateLo + rng.Float64()*(cfg.RateHi-cfg.RateLo)
+		src := netgraph.NodeID(rng.Intn(n))
+		w.Streams = append(w.Streams, cat.Add(fmt.Sprintf("stream-%d", i), rate, src))
+	}
+	for i := 0; i < cfg.Streams; i++ {
+		for j := i + 1; j < cfg.Streams; j++ {
+			sel := cfg.SelLo + rng.Float64()*(cfg.SelHi-cfg.SelLo)
+			cat.SetSelectivity(w.Streams[i], w.Streams[j], sel)
+		}
+	}
+	for qi := 0; qi < cfg.Queries; qi++ {
+		k := cfg.MinSources
+		if cfg.MaxSources > cfg.MinSources {
+			k += rng.Intn(cfg.MaxSources - cfg.MinSources + 1)
+		}
+		perm := rng.Perm(cfg.Streams)
+		srcs := make([]query.StreamID, k)
+		for i := range srcs {
+			srcs[i] = w.Streams[perm[i]]
+		}
+		q, err := query.NewQuery(qi, srcs, netgraph.NodeID(rng.Intn(n)))
+		if err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}
