@@ -8,6 +8,11 @@
 //	smq -fig 7                   # one figure
 //	smq -fig 5,6 -workloads 3    # reduced averaging for quick runs
 //	smq -fig 9 -seed 7           # different randomness
+//	smq -fig all -parallel=false # single-goroutine run (same output)
+//
+// By default figures are computed concurrently (and each figure's
+// internal sweeps fan out across cores); output is bit-identical to a
+// serial run and always rendered in figure order.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"hnp/internal/exp"
 )
@@ -26,6 +32,7 @@ func main() {
 		workloads = flag.Int("workloads", 10, "workloads averaged in figs 5-8")
 		queries   = flag.Int("queries", 20, "queries per workload in figs 5-8")
 		format    = flag.String("format", "table", "output format: table or csv")
+		parallel  = flag.Bool("parallel", true, "compute figures and their sweeps concurrently (output is identical either way)")
 	)
 	flag.Parse()
 
@@ -33,6 +40,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workloads = *workloads
 	cfg.Queries = *queries
+	cfg.Serial = !*parallel
 
 	harness := map[string]func(exp.Config) (*exp.Figure, error){
 		"2": exp.Fig2, "5": exp.Fig5, "6": exp.Fig6, "7": exp.Fig7,
@@ -54,20 +62,46 @@ func main() {
 		}
 	}
 
-	for _, id := range wanted {
-		fig, err := harness[id](cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "smq: figure %s: %v\n", id, err)
+	if *format != "csv" && *format != "table" {
+		fmt.Fprintf(os.Stderr, "smq: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	// Compute every requested figure (concurrently unless -parallel=false),
+	// then render in request order so output is stable.
+	type result struct {
+		fig *exp.Figure
+		err error
+	}
+	results := make([]result, len(wanted))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i, id := range wanted {
+			i, id := i, id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fig, err := harness[id](cfg)
+				results[i] = result{fig, err}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, id := range wanted {
+			fig, err := harness[id](cfg)
+			results[i] = result{fig, err}
+		}
+	}
+
+	for i, id := range wanted {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "smq: figure %s: %v\n", id, results[i].err)
 			os.Exit(1)
 		}
-		switch *format {
-		case "csv":
-			fig.RenderCSV(os.Stdout)
-		case "table":
-			fig.Render(os.Stdout)
-		default:
-			fmt.Fprintf(os.Stderr, "smq: unknown format %q\n", *format)
-			os.Exit(2)
+		if *format == "csv" {
+			results[i].fig.RenderCSV(os.Stdout)
+		} else {
+			results[i].fig.Render(os.Stdout)
 		}
 	}
 }

@@ -26,6 +26,7 @@ package hnp
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"hnp/internal/ads"
 	"hnp/internal/baseline"
@@ -132,6 +133,19 @@ func (a Algorithm) String() string {
 
 // System ties a network, its clustering hierarchy, a stream catalog and
 // an advertisement registry into one optimization endpoint.
+//
+// Concurrency contract: Plan, PlanWhere, PlanCQL, Deploy, DeployWhere,
+// DeployCQL, DeployAggregate, Refresh, SetLoadPenalty, AddLoad and
+// NodeLoad are safe to call from multiple goroutines. Planning runs under
+// a shared read lock, so any number of Plan/Deploy calls proceed in
+// parallel; Refresh (and SetLoadPenalty) take the write lock and briefly
+// exclude planners while the path snapshot and hierarchy are swapped. The
+// advertisement registry and the load tracker are internally locked, so
+// concurrent deployments interleave safely — though which deployment sees
+// which earlier advertisement then depends on scheduling. Catalog
+// mutation (AddStream, SetSelectivity) is setup-phase API: do not call it
+// concurrently with planning. Mutating Graph directly must likewise be
+// externally serialized with planning, followed by Refresh.
 type System struct {
 	Graph     *Graph
 	Paths     *netgraph.Paths
@@ -139,11 +153,28 @@ type System struct {
 	Catalog   *query.Catalog
 	Registry  *Registry
 
-	metric    Metric
+	metric Metric
+
+	// mu guards the Paths/Hierarchy snapshot swap (Refresh) and loadAlpha
+	// against in-flight planning, which holds it in read mode.
+	mu sync.RWMutex
+	// qmu guards query ID allocation.
+	qmu       sync.Mutex
 	nextQuery int
 
 	loadAlpha float64
 	tracker   *load.Tracker
+}
+
+// allocQueryID hands out a unique query ID. Every planned query gets its
+// own ID — including what-if plans that are never deployed — so plan
+// objects, advertisements and runtime deployments never collide.
+func (s *System) allocQueryID() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	id := s.nextQuery
+	s.nextQuery++
+	return id
 }
 
 // NewSystem builds the hierarchy (cluster size cap maxCS) over g for the
@@ -180,7 +211,11 @@ func NewSystemWithMetric(g *Graph, maxCS int, seed int64, m Metric) (*System, er
 // nodes (the paper's "node N2 may be overloaded" scenario). Zero disables
 // it. Deployed plans feed the load ledger automatically; use AddLoad for
 // background load from other applications.
-func (s *System) SetLoadPenalty(alpha float64) { s.loadAlpha = alpha }
+func (s *System) SetLoadPenalty(alpha float64) {
+	s.mu.Lock()
+	s.loadAlpha = alpha
+	s.mu.Unlock()
+}
 
 // AddLoad records synthetic background processing load on a node.
 func (s *System) AddLoad(v NodeID, inRate float64) { s.tracker.AddRaw(v, inRate) }
@@ -206,14 +241,15 @@ type Deployment struct {
 }
 
 // Plan plans a query without deploying it (no advertisements recorded):
-// useful for what-if comparisons.
+// useful for what-if comparisons. Every planned query receives its own
+// unique query ID, so consecutive what-if plans never collide.
 func (s *System) Plan(sources []StreamID, sink NodeID, algo Algorithm) (Deployment, error) {
 	return s.PlanWhere(sources, sink, algo, PredSet{})
 }
 
 // PlanWhere is Plan with selection predicates.
 func (s *System) PlanWhere(sources []StreamID, sink NodeID, algo Algorithm, preds PredSet) (Deployment, error) {
-	q, err := query.NewQueryPred(s.nextQuery, sources, sink, preds)
+	q, err := query.NewQueryPred(s.allocQueryID(), sources, sink, preds)
 	if err != nil {
 		return Deployment{}, err
 	}
@@ -239,7 +275,6 @@ func (s *System) DeployWhere(sources []StreamID, sink NodeID, algo Algorithm, pr
 	if err != nil {
 		return Deployment{}, err
 	}
-	s.nextQuery++
 	s.Registry.AdvertisePlan(d.Query, d.Result.Plan)
 	s.tracker.AddPlan(d.Result.Plan)
 	return d, nil
@@ -259,7 +294,6 @@ func (s *System) DeployCQL(stmt string, sink NodeID, algo Algorithm) (Deployment
 	if err != nil {
 		return Deployment{}, err
 	}
-	s.nextQuery++
 	s.Registry.AdvertisePlan(d.Query, d.Result.Plan)
 	s.tracker.AddPlan(d.Result.Plan)
 	return d, nil
@@ -272,7 +306,7 @@ func (s *System) PlanCQL(stmt string, sink NodeID, algo Algorithm) (Deployment, 
 	if err != nil {
 		return Deployment{}, err
 	}
-	q, err := st.Query(s.nextQuery, sink)
+	q, err := st.Query(s.allocQueryID(), sink)
 	if err != nil {
 		return Deployment{}, err
 	}
@@ -289,7 +323,7 @@ func (s *System) PlanCQL(stmt string, sink NodeID, algo Algorithm) (Deployment, 
 // downstream rate).
 func (s *System) DeployAggregate(sources []StreamID, sink NodeID, algo Algorithm,
 	preds PredSet, agg AggSpec) (Deployment, error) {
-	q, err := query.NewQueryAgg(s.nextQuery, sources, sink, preds, agg)
+	q, err := query.NewQueryAgg(s.allocQueryID(), sources, sink, preds, agg)
 	if err != nil {
 		return Deployment{}, err
 	}
@@ -297,13 +331,16 @@ func (s *System) DeployAggregate(sources []StreamID, sink NodeID, algo Algorithm
 	if err != nil {
 		return Deployment{}, err
 	}
-	s.nextQuery++
 	s.Registry.AdvertisePlan(q, res.Plan)
 	s.tracker.AddPlan(res.Plan)
 	return Deployment{Query: q, Result: res}, nil
 }
 
 func (s *System) run(q *query.Query, algo Algorithm) (Result, error) {
+	// Planning holds the read lock: many planners run in parallel, while
+	// Refresh's snapshot swap excludes them all.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var opts core.Options
 	if s.loadAlpha > 0 {
 		opts.Penalty = s.tracker.Penalty(s.loadAlpha)
@@ -326,6 +363,12 @@ func (s *System) run(q *query.Query, algo Algorithm) (Result, error) {
 // graph changed (link cost updates, node churn handled via the hierarchy's
 // AddNode/RemoveNode).
 func (s *System) Refresh() {
-	s.Paths = s.Graph.ShortestPaths(s.metric)
-	s.Hierarchy.Rebind(s.Paths)
+	paths := s.Graph.ShortestPaths(s.metric)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.Hierarchy.Rebind(paths); err != nil {
+		// Unreachable: a just-computed snapshot cannot be stale.
+		panic(err)
+	}
+	s.Paths = paths
 }

@@ -8,6 +8,7 @@ package ads
 
 import (
 	"sort"
+	"sync"
 
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
@@ -33,8 +34,11 @@ type Ad struct {
 }
 
 // Registry indexes advertisements by signature. The zero value is not
-// usable; create with NewRegistry.
+// usable; create with NewRegistry. A Registry is internally locked: any
+// number of goroutines may advertise and look up concurrently, so planners
+// can consult the registry while other deployments advertise into it.
 type Registry struct {
+	mu    sync.RWMutex
 	bySig map[string][]Ad
 	count int
 }
@@ -46,6 +50,8 @@ func NewRegistry() *Registry { return &Registry{bySig: map[string][]Ad{}} }
 // is ignored, matching the one-time advertisement semantics of the paper.
 // It reports whether the ad was new.
 func (r *Registry) Advertise(ad Ad) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, ex := range r.bySig[ad.Sig] {
 		if ex.Node == ad.Node {
 			return false
@@ -57,7 +63,11 @@ func (r *Registry) Advertise(ad Ad) bool {
 }
 
 // Len returns the number of stored advertisements.
-func (r *Registry) Len() int { return r.count }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.count
+}
 
 // AddAll copies every ad from other into r (duplicates skipped). It
 // returns the number of new ads.
@@ -81,12 +91,19 @@ func (r *Registry) Clone() *Registry {
 	return c
 }
 
-// Lookup returns all ads with the given signature.
-func (r *Registry) Lookup(sig string) []Ad { return r.bySig[sig] }
+// Lookup returns all ads with the given signature. The result is a copy,
+// safe to hold while other goroutines advertise.
+func (r *Registry) Lookup(sig string) []Ad {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Ad(nil), r.bySig[sig]...)
+}
 
 // All returns every ad, ordered by signature then node, for deterministic
 // iteration.
 func (r *Registry) All() []Ad {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	sigs := make([]string, 0, len(r.bySig))
 	for s := range r.bySig {
 		sigs = append(sigs, s)

@@ -2,6 +2,9 @@ package exp
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"hnp/internal/ads"
 	"hnp/internal/core"
@@ -70,22 +73,75 @@ func deploySequence(qs []*query.Query, reuse bool, opt optimizer) ([]float64, []
 	return costs, results, nil
 }
 
+// runParallel invokes fn(0..n-1), fanning the indices over a
+// GOMAXPROCS-bounded worker pool unless serial is set (or only one worker
+// is available), and returns the first error any invocation produced.
+// Callers must write results into index-addressed slots so serial and
+// parallel execution are bit-identical; fn must not touch shared mutable
+// state that is not internally synchronized.
+func runParallel(n int, serial bool, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if serial || workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // cumulativeAveraged runs fn for each workload seed, collecting per-query
 // marginal costs, and returns the workload-averaged cumulative curve.
-func cumulativeAveraged(workloads int, baseSeed int64, fn func(w *workload.Workload, rng *rand.Rand) ([]float64, error),
+// Workload repetitions are independent (each gets its own seeded rng), so
+// they run through runParallel; rows are indexed by repetition, keeping
+// the MeanAcross float accumulation order — and thus the output bits —
+// identical to a serial run.
+func cumulativeAveraged(cfg Config, fn func(w *workload.Workload, rng *rand.Rand) ([]float64, error),
 	gen func(rng *rand.Rand) (*workload.Workload, error)) ([]float64, error) {
-	var rows [][]float64
-	for wi := 0; wi < workloads; wi++ {
-		rng := rand.New(rand.NewSource(baseSeed + int64(wi)*1009))
+	rows := make([][]float64, cfg.Workloads)
+	err := runParallel(cfg.Workloads, cfg.Serial, func(wi int) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(wi)*1009))
 		w, err := gen(rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		costs, err := fn(w, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, stats.Cumulative(costs))
+		rows[wi] = stats.Cumulative(costs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return stats.MeanAcross(rows), nil
 }

@@ -166,6 +166,22 @@ func TestFig10DeploymentTimes(t *testing.T) {
 			t.Errorf("cluster size %s: bottom-up %g not faster than top-down %g", cs, bu, td)
 		}
 	}
+	// Regression: the headline note classifies series by an explicit
+	// algorithm tag, not by name prefix; since Bottom-Up is faster here,
+	// the tagged sums must report a positive reduction.
+	found := false
+	for _, n := range f.Notes {
+		if strings.Contains(n, "lower than Top-Down") {
+			found = true
+			// A swapped classification would negate the reduction.
+			if strings.Contains(n, "is -") {
+				t.Errorf("headline note misclassified series: %q", n)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing Bottom-Up vs Top-Down headline note")
+	}
 }
 
 func TestFig11CostsAndRuntimeCrossCheck(t *testing.T) {
@@ -182,6 +198,10 @@ func TestFig11CostsAndRuntimeCrossCheck(t *testing.T) {
 	for _, n := range f.Notes {
 		if strings.Contains(n, "runtime cross-check") {
 			found = true
+			// Regression: a zero analytic total used to print a NaN ratio.
+			if strings.Contains(n, "NaN") || strings.Contains(n, "Inf") {
+				t.Errorf("cross-check note has non-finite ratio: %q", n)
+			}
 		}
 	}
 	if !found {

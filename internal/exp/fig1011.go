@@ -56,21 +56,22 @@ func Fig10(cfg Config) (*Figure, error) {
 	rt := iflow.New(tb.g, iflow.DefaultConfig(), cfg.Seed)
 
 	type algo struct {
-		name string
-		cs   int
-		run  func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error)
+		name     string
+		cs       int
+		bottomUp bool // explicit algorithm tag; never inferred from the name
+		run      func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error)
 	}
 	algos := []algo{
-		{"Bottom-Up (cluster size=4)", 4, func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error) {
+		{"Bottom-Up (cluster size=4)", 4, true, func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error) {
 			return core.BottomUp(h, tb.w.Catalog, q, reg)
 		}},
-		{"Bottom-Up (cluster size=8)", 8, func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error) {
+		{"Bottom-Up (cluster size=8)", 8, true, func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error) {
 			return core.BottomUp(h, tb.w.Catalog, q, reg)
 		}},
-		{"Top-Down (cluster size=4)", 4, func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error) {
+		{"Top-Down (cluster size=4)", 4, false, func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error) {
 			return core.TopDown(h, tb.w.Catalog, q, reg)
 		}},
-		{"Top-Down (cluster size=8)", 8, func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error) {
+		{"Top-Down (cluster size=8)", 8, false, func(h *hierarchy.Hierarchy, q *query.Query, reg *ads.Registry) (core.Result, error) {
 			return core.TopDown(h, tb.w.Catalog, q, reg)
 		}},
 	}
@@ -86,6 +87,10 @@ func Fig10(cfg Config) (*Figure, error) {
 	for i, s := range sizes {
 		xs[i] = float64(s)
 	}
+	// Headline accumulators ride along the algos loop, keyed by the
+	// explicit bottomUp tag: the old post-hoc classification by series-name
+	// first letter silently miscounted any renamed series.
+	var buSum, tdSum float64
 	for _, a := range algos {
 		h := tb.hiers[a.cs]
 		ys := make([]float64, len(sizes))
@@ -104,15 +109,10 @@ func Fig10(cfg Config) (*Figure, error) {
 			ys[si] = stats.Mean(times)
 		}
 		f.Series = append(f.Series, Series{Name: a.name, X: xs, Y: ys})
-	}
-	// Headline: average BU/TD ratio across sizes and cluster sizes.
-	var buSum, tdSum float64
-	for _, s := range f.Series {
-		t := stats.Mean(s.Y)
-		if s.Name[0] == 'B' {
-			buSum += t
+		if a.bottomUp {
+			buSum += stats.Mean(ys)
 		} else {
-			tdSum += t
+			tdSum += stats.Mean(ys)
 		}
 	}
 	if tdSum > 0 {
@@ -192,7 +192,14 @@ func Fig11(cfg Config) (*Figure, error) {
 	}
 	rt.RunFor(horizon)
 	measured := rt.CostRate() / icfg.TupleSize
-	f.AddNote("runtime cross-check: %d/%d queries executed, measured cost rate %.3g vs analytic %.3g (ratio %.2f)",
-		deployed, len(tb.w.Queries), measured, analytic, measured/analytic)
+	if analytic > 0 {
+		f.AddNote("runtime cross-check: %d/%d queries executed, measured cost rate %.3g vs analytic %.3g (ratio %.2f)",
+			deployed, len(tb.w.Queries), measured, analytic, measured/analytic)
+	} else {
+		// No query deployed (or all plans were free): a ratio would be
+		// NaN/Inf, so report the raw rates without one.
+		f.AddNote("runtime cross-check: %d/%d queries executed, measured cost rate %.3g vs analytic %.3g (no ratio: zero analytic cost)",
+			deployed, len(tb.w.Queries), measured, analytic)
+	}
 	return f, nil
 }

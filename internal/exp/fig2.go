@@ -25,6 +25,10 @@ type Config struct {
 	// Fig9Sizes overrides the network-size sweep of Figure 9 (nil = the
 	// paper's 128..1024).
 	Fig9Sizes []int
+	// Serial disables the parallel harness: workload repetitions and
+	// per-series sweeps run on one goroutine. Output is bit-identical
+	// either way; the zero value (parallel) is the default.
+	Serial bool
 }
 
 // DefaultConfig reproduces the paper's experiment scale.

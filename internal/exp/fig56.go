@@ -28,9 +28,17 @@ func fig56(cfg Config, id, algo string,
 		XLabel: "queries deployed",
 		YLabel: "cumulative cost per unit time",
 	}
+	// Hierarchies must be prebuilt serially in sweep order: lazy builds
+	// consume the env's shared rng, so building them inside a parallel
+	// sweep would change (and unorder) the constructions.
 	for _, cs := range clusterSizes {
+		e.hier(cs)
+	}
+	series := make([]Series, len(clusterSizes))
+	err := runParallel(len(clusterSizes), cfg.Serial, func(ci int) error {
+		cs := clusterSizes[ci]
 		h := e.hier(cs)
-		avg, err := cumulativeAveraged(cfg.Workloads, cfg.Seed,
+		avg, err := cumulativeAveraged(cfg,
 			func(w *workload.Workload, _ *rand.Rand) ([]float64, error) {
 				costs, _, err := deploySequence(w.Queries, true,
 					func(q *query.Query, reg *ads.Registry) (core.Result, error) {
@@ -42,14 +50,19 @@ func fig56(cfg Config, id, algo string,
 				return workload.Generate(workload.Default(10, cfg.Queries), nodes, rng)
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Series = append(f.Series, Series{
+		series[ci] = Series{
 			Name: fmt.Sprintf("max_cs=%d", cs),
 			X:    seqX(cfg.Queries),
 			Y:    avg,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Series = series
 	small, large := f.Final("max_cs=8"), f.Final("max_cs=64")
 	f.AddNote("max_cs=64 vs max_cs=8: %.1f%% cost change (paper fig5: 21%% cheaper for Bottom-Up; fig6: flat above 4)",
 		100*(1-large/small))

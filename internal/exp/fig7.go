@@ -53,9 +53,10 @@ func Fig7(cfg Config) (*Figure, error) {
 		XLabel: "queries deployed",
 		YLabel: "cumulative cost per unit time",
 	}
-	for _, v := range variants {
-		v := v
-		avg, err := cumulativeAveraged(cfg.Workloads, cfg.Seed,
+	series := make([]Series, len(variants))
+	err := runParallel(len(variants), cfg.Serial, func(vi int) error {
+		v := variants[vi]
+		avg, err := cumulativeAveraged(cfg,
 			func(w *workload.Workload, _ *rand.Rand) ([]float64, error) {
 				costs, _, err := deploySequence(w.Queries, v.reuse, v.opt(w.Catalog))
 				return costs, err
@@ -64,10 +65,15 @@ func Fig7(cfg Config) (*Figure, error) {
 				return workload.Generate(workload.Default(10, cfg.Queries), nodes, rng)
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Series = append(f.Series, Series{Name: v.name, X: seqX(cfg.Queries), Y: avg})
+		series[vi] = Series{Name: v.name, X: seqX(cfg.Queries), Y: avg}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Series = series
 
 	opt := f.Final("Optimal")
 	tdR, tdN := f.Final("Top-Down with reuse"), f.Final("Top-Down without reuse")

@@ -65,9 +65,10 @@ func Fig8(cfg Config) (*Figure, error) {
 		XLabel: "queries deployed",
 		YLabel: "cumulative cost per unit time",
 	}
-	for _, r := range runs {
-		r := r
-		avg, err := cumulativeAveraged(cfg.Workloads, cfg.Seed,
+	series := make([]Series, len(runs))
+	err = runParallel(len(runs), cfg.Serial, func(ri int) error {
+		r := runs[ri]
+		avg, err := cumulativeAveraged(cfg,
 			func(w *workload.Workload, _ *rand.Rand) ([]float64, error) {
 				costs, _, err := deploySequence(w.Queries, true, r.opt(w.Catalog))
 				return costs, err
@@ -76,10 +77,15 @@ func Fig8(cfg Config) (*Figure, error) {
 				return workload.Generate(workload.Default(10, cfg.Queries), nodes, rng)
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		f.Series = append(f.Series, Series{Name: r.name, X: seqX(cfg.Queries), Y: avg})
+		series[ri] = Series{Name: r.name, X: seqX(cfg.Queries), Y: avg}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Series = series
 	td, bu := f.Final("Top-Down with reuse"), f.Final("Bottom-Up with reuse")
 	relax, innet := f.Final("Relaxation with reuse"), f.Final("In-Network with reuse")
 	f.AddNote("Top-Down vs In-Network: %.1f%% savings (paper: ~40%%); Bottom-Up vs In-Network: %.1f%% (paper: ~27%%)",

@@ -34,9 +34,16 @@ func Fig9(cfg Config) (*Figure, error) {
 		XLabel: "network size",
 		YLabel: "plans considered per query (log-scale quantity)",
 	}
-	var tdY, buY, exY, boundY []float64
+	// Each network size builds its own env and rng (seeded from the size),
+	// so the sweep iterations share nothing and run through runParallel,
+	// writing into index-addressed slots.
+	tdY := make([]float64, len(sizes))
+	buY := make([]float64, len(sizes))
+	exY := make([]float64, len(sizes))
+	boundY := make([]float64, len(sizes))
 	xs := make([]float64, len(sizes))
-	for i, n := range sizes {
+	err := runParallel(len(sizes), cfg.Serial, func(i int) error {
+		n := sizes[i]
 		xs[i] = float64(n)
 		e := newEnv(n, cfg.Seed+int64(n))
 		h := e.hier(maxCS)
@@ -45,25 +52,29 @@ func Fig9(cfg Config) (*Figure, error) {
 		wcfg.MinSources, wcfg.MaxSources = 4, 4
 		w, err := workload.Generate(wcfg, n, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var tds, bus []float64
 		for _, q := range w.Queries {
 			td, err := core.TopDown(h, w.Catalog, q, (*ads.Registry)(nil))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			bu, err := core.BottomUp(h, w.Catalog, q, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tds = append(tds, td.PlansConsidered)
 			bus = append(bus, bu.PlansConsidered)
 		}
-		tdY = append(tdY, stats.Mean(tds))
-		buY = append(buY, stats.Mean(bus))
-		exY = append(exY, costpkg.Lemma1(4, n))
-		boundY = append(boundY, costpkg.HierarchicalSpaceBound(4, n, maxCS, h.Height()))
+		tdY[i] = stats.Mean(tds)
+		buY[i] = stats.Mean(bus)
+		exY[i] = costpkg.Lemma1(4, n)
+		boundY[i] = costpkg.HierarchicalSpaceBound(4, n, maxCS, h.Height())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	f.Series = []Series{
 		{Name: "Top-Down", X: xs, Y: tdY},

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// forceParallel raises GOMAXPROCS so the harness actually fans out even on
+// a single-core test machine (runParallel falls back to serial at 1).
+func forceParallel(t testing.TB) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestParallelFigureDeterminism asserts the harness contract: a figure
+// computed with the parallel harness is bit-identical to the serial run —
+// same series order, same X/Y values, same notes.
+func TestParallelFigureDeterminism(t *testing.T) {
+	forceParallel(t)
+	figures := []struct {
+		name string
+		run  func(Config) (*Figure, error)
+	}{
+		{"Fig5", Fig5},
+		{"Fig7", Fig7},
+		{"Fig9", Fig9},
+	}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			serialCfg := quickCfg()
+			serialCfg.Serial = true
+			want, err := fig.run(serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fig.run(quickCfg()) // zero value: parallel
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("parallel %s differs from serial:\nparallel: %+v\nserial:   %+v", fig.name, got, want)
+			}
+		})
+	}
+}
+
+func TestRunParallelCoversAllIndices(t *testing.T) {
+	forceParallel(t)
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := runParallel(n, false, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestRunParallelPropagatesError(t *testing.T) {
+	forceParallel(t)
+	sentinel := errors.New("boom")
+	for _, serial := range []bool{true, false} {
+		err := runParallel(10, serial, func(i int) error {
+			if i == 7 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("serial=%v: err = %v, want sentinel", serial, err)
+		}
+	}
+	if err := runParallel(0, false, func(int) error { return sentinel }); err != nil {
+		t.Errorf("n=0 invoked fn: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ package hierarchy
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"hnp/internal/cluster"
 	"hnp/internal/netgraph"
@@ -55,12 +56,21 @@ func (l *Level) MaxDiameter() float64 {
 }
 
 // Hierarchy is a virtual clustering hierarchy over a physical network.
+//
+// Concurrency: read-only queries (Cover, Rep, EstCost, ClusterOf, ...) are
+// safe to call from multiple goroutines, so several planners can share one
+// hierarchy; the lazily-filled cover cache is internally locked. Mutations
+// (Rebind, AddNode, RemoveNode) are NOT safe to run concurrently with
+// queries or each other — callers must serialize them externally (the hnp
+// System does so with its own lock).
 type Hierarchy struct {
 	g     *netgraph.Graph
 	paths *netgraph.Paths
 	maxCS int
 	lvls  []*Level
-	cover map[*Cluster][]netgraph.NodeID
+
+	coverMu sync.Mutex
+	cover   map[*Cluster][]netgraph.NodeID
 }
 
 // Build constructs a hierarchy over the nodes of g with at most maxCS
@@ -210,8 +220,16 @@ func (h *Hierarchy) ChildCluster(m netgraph.NodeID, level int) *Cluster {
 }
 
 // Cover returns all physical nodes under cluster c (its transitive
-// membership). The result is cached; mutations invalidate the cache.
+// membership). The result is cached; mutations invalidate the cache. The
+// cache is internally locked so concurrent planners may share one
+// hierarchy; callers must treat the returned slice as read-only.
 func (h *Hierarchy) Cover(c *Cluster) []netgraph.NodeID {
+	h.coverMu.Lock()
+	defer h.coverMu.Unlock()
+	return h.coverLocked(c)
+}
+
+func (h *Hierarchy) coverLocked(c *Cluster) []netgraph.NodeID {
 	if got, ok := h.cover[c]; ok {
 		return got
 	}
@@ -220,14 +238,18 @@ func (h *Hierarchy) Cover(c *Cluster) []netgraph.NodeID {
 		out = append([]netgraph.NodeID(nil), c.Members...)
 	} else {
 		for _, m := range c.Members {
-			out = append(out, h.Cover(h.ChildCluster(m, c.Level))...)
+			out = append(out, h.coverLocked(h.ChildCluster(m, c.Level))...)
 		}
 	}
 	h.cover[c] = out
 	return out
 }
 
-func (h *Hierarchy) invalidate() { h.cover = map[*Cluster][]netgraph.NodeID{} }
+func (h *Hierarchy) invalidate() {
+	h.coverMu.Lock()
+	h.cover = map[*Cluster][]netgraph.NodeID{}
+	h.coverMu.Unlock()
+}
 
 // NumClusters returns the total number of clusters across all levels.
 func (h *Hierarchy) NumClusters() int {

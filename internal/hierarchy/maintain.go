@@ -11,13 +11,22 @@ import (
 // Rebind replaces the path snapshot the hierarchy measures costs against.
 // Call it after the physical graph changed (new node, link cost update)
 // before using AddNode or cost queries; cluster membership is untouched.
-func (h *Hierarchy) Rebind(paths *netgraph.Paths) {
+// The replacement snapshot must itself be current for the hierarchy's
+// graph — rebinding to an already-stale snapshot is rejected, because
+// every cost the hierarchy reports would silently reflect a network that
+// no longer exists.
+func (h *Hierarchy) Rebind(paths *netgraph.Paths) error {
+	if paths.StaleFor(h.g) {
+		return fmt.Errorf("hierarchy: Rebind with stale path snapshot (snapshot version %d, graph version %d)",
+			paths.Version(), h.g.Version())
+	}
 	h.paths = paths
 	for _, lvl := range h.lvls {
 		for _, c := range lvl.Clusters {
 			c.Diameter = paths.MaxPairwise(c.Members)
 		}
 	}
+	return nil
 }
 
 // AddNode inserts a new physical node into the hierarchy following the
@@ -32,6 +41,9 @@ func (h *Hierarchy) Rebind(paths *netgraph.Paths) {
 func (h *Hierarchy) AddNode(v netgraph.NodeID) error {
 	if int(v) >= h.g.NumNodes() {
 		return fmt.Errorf("hierarchy: node %d not in graph", v)
+	}
+	if h.paths.StaleFor(h.g) {
+		return fmt.Errorf("hierarchy: AddNode(%d) against a stale path snapshot; Rebind with a fresh one first", v)
 	}
 	if h.Contains(v) {
 		return fmt.Errorf("hierarchy: node %d already present", v)

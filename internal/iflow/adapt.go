@@ -16,7 +16,7 @@ func (rt *Runtime) UpdateLinkCost(a, b netgraph.NodeID, cost float64) error {
 	if err := rt.G.SetLinkCost(a, b, cost); err != nil {
 		return fmt.Errorf("iflow: %w", err)
 	}
-	rt.Cost = rt.G.ShortestPaths(netgraph.MetricCost)
+	rt.refreshPaths()
 	return nil
 }
 

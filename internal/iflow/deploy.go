@@ -21,6 +21,7 @@ func (rt *Runtime) Deploy(q *query.Query, plan *query.PlanNode, cat *query.Catal
 	if err := plan.Validate(); err != nil {
 		return fmt.Errorf("iflow: query %d: %w", q.ID, err)
 	}
+	rt.refreshPaths()
 	var held []opKey
 	hold := func(op *Operator) {
 		op.refs++
@@ -201,6 +202,7 @@ func (rt *Runtime) DeployTime(trace *core.PlanStep, sink netgraph.NodeID) float6
 	if trace == nil {
 		return 0
 	}
+	rt.refreshPaths()
 	var finish func(s *core.PlanStep, arrival float64) float64
 	finish = func(s *core.PlanStep, arrival float64) float64 {
 		done := arrival + s.Plans*rt.cfg.ComputePerPlan

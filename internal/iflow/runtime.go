@@ -158,6 +158,19 @@ func New(g *netgraph.Graph, cfg Config, seed int64) *Runtime {
 // Config returns the runtime's configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
+// refreshPaths recomputes any path snapshot that has gone stale because
+// the underlying graph was mutated (directly or via UpdateLinkCost).
+// Entry points call it so routing and accounting never silently use
+// distances from a network that no longer exists.
+func (rt *Runtime) refreshPaths() {
+	if rt.Cost.StaleFor(rt.G) {
+		rt.Cost = rt.G.ShortestPaths(netgraph.MetricCost)
+	}
+	if rt.Delay.StaleFor(rt.G) {
+		rt.Delay = rt.G.ShortestPaths(netgraph.MetricDelay)
+	}
+}
+
 // transfer accounts and schedules a tuple moving between two nodes, then
 // invokes deliver at the destination's arrival time.
 func (rt *Runtime) transfer(from, to netgraph.NodeID, t Tuple, deliver func(Tuple)) {

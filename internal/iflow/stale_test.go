@@ -1,0 +1,51 @@
+package iflow
+
+import (
+	"testing"
+
+	"hnp/internal/netgraph"
+)
+
+// TestDeployRefreshesStalePaths: mutating the runtime's graph directly
+// (bypassing UpdateLinkCost) leaves the routing snapshots stale; the next
+// Deploy must auto-refresh them instead of accounting transfers against
+// the old network.
+func TestDeployRefreshesStalePaths(t *testing.T) {
+	w := makeTestWorld(t, 11)
+	rt := New(w.g, DefaultConfig(), 42)
+	links := w.g.Links()
+	if err := w.g.SetLinkCost(links[0].A, links[0].B, links[0].Cost*10); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Cost.StaleFor(rt.G) {
+		t.Fatal("cost snapshot not stale after direct graph mutation")
+	}
+	if err := rt.Deploy(w.q, w.plan, w.cat, 10); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Cost.StaleFor(rt.G) || rt.Delay.StaleFor(rt.G) {
+		t.Error("Deploy did not refresh stale snapshots")
+	}
+}
+
+// TestUpdateLinkCostRefreshesBothMetrics: UpdateLinkCost bumps the graph
+// version, so both snapshots must end up current (previously only the
+// cost snapshot was recomputed, leaving the delay snapshot permanently
+// flagged stale).
+func TestUpdateLinkCostRefreshesBothMetrics(t *testing.T) {
+	w := makeTestWorld(t, 12)
+	rt := New(w.g, DefaultConfig(), 42)
+	links := w.g.Links()
+	if err := rt.UpdateLinkCost(links[0].A, links[0].B, links[0].Cost*4); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Cost.StaleFor(rt.G) {
+		t.Error("cost snapshot stale after UpdateLinkCost")
+	}
+	if rt.Delay.StaleFor(rt.G) {
+		t.Error("delay snapshot stale after UpdateLinkCost")
+	}
+	if rt.Cost.Metric() != netgraph.MetricCost || rt.Delay.Metric() != netgraph.MetricDelay {
+		t.Error("snapshot metrics swapped")
+	}
+}

@@ -6,14 +6,19 @@
 package load
 
 import (
+	"sync"
+
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
 )
 
 // Tracker accumulates per-node processing load, measured as the total
 // input rate of the operators placed on each node (the work a symmetric
-// hash join performs is proportional to its input rates).
+// hash join performs is proportional to its input rates). A Tracker is
+// internally locked: concurrent deployments may record load while
+// in-flight planners read penalties.
 type Tracker struct {
+	mu   sync.Mutex
 	load map[netgraph.NodeID]float64
 }
 
@@ -23,12 +28,18 @@ func NewTracker() *Tracker {
 }
 
 // Load returns the tracked input rate on a node.
-func (t *Tracker) Load(v netgraph.NodeID) float64 { return t.load[v] }
+func (t *Tracker) Load(v netgraph.NodeID) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.load[v]
+}
 
 // AddPlan accounts a deployed plan: every operator adds its children's
 // output rates to its node. Derived leaves add nothing (the reused
 // operator's load is already accounted by its own deployment).
 func (t *Tracker) AddPlan(plan *query.PlanNode) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, op := range plan.Operators() {
 		t.load[op.Loc] += op.InputRate()
 	}
@@ -36,6 +47,8 @@ func (t *Tracker) AddPlan(plan *query.PlanNode) {
 
 // RemovePlan reverses AddPlan for an undeployed plan.
 func (t *Tracker) RemovePlan(plan *query.PlanNode) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, op := range plan.Operators() {
 		t.load[op.Loc] -= op.InputRate()
 		if t.load[op.Loc] <= 1e-12 {
@@ -47,6 +60,8 @@ func (t *Tracker) RemovePlan(plan *query.PlanNode) {
 // AddRaw adds synthetic background load to a node (e.g. an overloaded
 // enterprise server).
 func (t *Tracker) AddRaw(v netgraph.NodeID, inRate float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.load[v] += inRate
 }
 
@@ -57,6 +72,6 @@ func (t *Tracker) AddRaw(v netgraph.NodeID, inRate float64) {
 // follow deployments.
 func (t *Tracker) Penalty(alpha float64) func(v netgraph.NodeID, inRate float64) float64 {
 	return func(v netgraph.NodeID, inRate float64) float64 {
-		return alpha * t.load[v] * inRate
+		return alpha * t.Load(v) * inRate
 	}
 }

@@ -3,6 +3,9 @@ package netgraph
 import (
 	"container/heap"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Metric selects which link weight shortest paths minimize.
@@ -68,14 +71,22 @@ func (g *Graph) Dijkstra(src NodeID, m Metric) (dist []float64, firstHop []int32
 	n := len(g.adj)
 	dist = make([]float64, n)
 	firstHop = make([]int32, n)
+	g.dijkstraInto(src, m, dist, firstHop, &pq{})
+	return dist, firstHop
+}
+
+// dijkstraInto runs Dijkstra from src into caller-provided dist/firstHop
+// slices (length NumNodes), reusing q as scratch so hot callers avoid
+// re-allocating the priority queue per source.
+func (g *Graph) dijkstraInto(src NodeID, m Metric, dist []float64, firstHop []int32, q *pq) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		firstHop[i] = -1
 	}
 	dist[src] = 0
-	q := pq{{src, 0}}
+	*q = append((*q)[:0], pqItem{src, 0})
 	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
+		it := heap.Pop(q).(pqItem)
 		if it.dist > dist[it.node] {
 			continue
 		}
@@ -88,23 +99,75 @@ func (g *Graph) Dijkstra(src NodeID, m Metric) (dist []float64, firstHop []int32
 				} else {
 					firstHop[e.to] = firstHop[it.node]
 				}
-				heap.Push(&q, pqItem{e.to, nd})
+				heap.Push(q, pqItem{e.to, nd})
 			}
 		}
 	}
-	return dist, firstHop
 }
 
 // ShortestPaths computes an all-pairs snapshot under metric m by running
 // Dijkstra from every node (the graphs here are sparse, so this beats
 // Floyd-Warshall for the 1024-node topologies in the scalability study).
+// The per-source searches are independent, so they fan out over a bounded
+// worker pool (GOMAXPROCS workers, each with a reusable priority queue);
+// every worker writes only its own rows, and each row is identical to what
+// the serial computation produces, so results are bit-identical regardless
+// of parallelism.
 func (g *Graph) ShortestPaths(m Metric) *Paths {
 	n := len(g.adj)
 	p := &Paths{metric: m, version: g.version, n: n,
 		dist: make([][]float64, n), next: make([][]int32, n)}
-	for v := 0; v < n; v++ {
-		p.dist[v], p.next[v] = g.Dijkstra(NodeID(v), m)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
+	if workers <= 1 {
+		g.shortestPathsInto(p)
+		return p
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var q pq
+			for {
+				v := int(next.Add(1)) - 1
+				if v >= n {
+					return
+				}
+				dist := make([]float64, n)
+				hop := make([]int32, n)
+				g.dijkstraInto(NodeID(v), m, dist, hop, &q)
+				p.dist[v], p.next[v] = dist, hop
+			}
+		}()
+	}
+	wg.Wait()
+	return p
+}
+
+// shortestPathsInto fills an all-pairs snapshot serially; the reference
+// implementation the parallel path is checked against.
+func (g *Graph) shortestPathsInto(p *Paths) {
+	n := len(g.adj)
+	var q pq
+	for v := 0; v < n; v++ {
+		dist := make([]float64, n)
+		hop := make([]int32, n)
+		g.dijkstraInto(NodeID(v), p.metric, dist, hop, &q)
+		p.dist[v], p.next[v] = dist, hop
+	}
+}
+
+// shortestPathsSerial is the serial all-pairs computation, kept as the
+// reference the parallel ShortestPaths is tested and benchmarked against.
+func (g *Graph) shortestPathsSerial(m Metric) *Paths {
+	n := len(g.adj)
+	p := &Paths{metric: m, version: g.version, n: n,
+		dist: make([][]float64, n), next: make([][]int32, n)}
+	g.shortestPathsInto(p)
 	return p
 }
 
@@ -113,6 +176,15 @@ func (p *Paths) Metric() Metric { return p.metric }
 
 // Version returns the graph version the snapshot was computed against.
 func (p *Paths) Version() int { return p.version }
+
+// StaleFor reports whether the snapshot no longer reflects g: the graph
+// has been mutated (version bumped) since the snapshot was computed, or
+// the snapshot covers a different node count. Consumers that cache a
+// *Paths must either recompute when this returns true or refuse to plan
+// against it — costs computed from a stale snapshot are silently wrong.
+func (p *Paths) StaleFor(g *Graph) bool {
+	return p.version != g.version || p.n != len(g.adj)
+}
 
 // Dist returns the shortest-path distance from a to b (+Inf if unreachable).
 func (p *Paths) Dist(a, b NodeID) float64 { return p.dist[a][b] }

@@ -67,15 +67,22 @@ func Cumulative(xs []float64) []float64 {
 }
 
 // MeanAcross averages aligned series element-wise: rows[w][i] is workload
-// w's value at position i. Rows must share one length.
+// w's value at position i. Ragged rows are tolerated by averaging only
+// positions present in every row (the common prefix), so a longer later
+// row can no longer index past the output.
 func MeanAcross(rows [][]float64) []float64 {
 	if len(rows) == 0 {
 		return nil
 	}
 	n := len(rows[0])
+	for _, r := range rows[1:] {
+		if len(r) < n {
+			n = len(r)
+		}
+	}
 	out := make([]float64, n)
 	for _, r := range rows {
-		for i, v := range r {
+		for i, v := range r[:n] {
 			out[i] += v
 		}
 	}

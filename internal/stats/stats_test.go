@@ -66,3 +66,26 @@ func TestMeanAcross(t *testing.T) {
 		t.Error("MeanAcross(nil) != nil")
 	}
 }
+
+// TestMeanAcrossRagged is the regression test for the out-of-range panic:
+// output used to be sized from rows[0] while every row was indexed in
+// full, so a longer later row crashed. Ragged rows now average over the
+// common prefix.
+func TestMeanAcrossRagged(t *testing.T) {
+	got := MeanAcross([][]float64{{1, 2}, {3, 4, 5}})
+	if len(got) != 2 {
+		t.Fatalf("ragged MeanAcross length = %d, want 2", len(got))
+	}
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("ragged MeanAcross = %v", got)
+	}
+	// Shorter later row truncates too.
+	got = MeanAcross([][]float64{{1, 2, 3}, {3}})
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("ragged MeanAcross = %v", got)
+	}
+	// An empty row yields an empty (non-panicking) result.
+	if got := MeanAcross([][]float64{{1, 2}, {}}); len(got) != 0 {
+		t.Errorf("empty-row MeanAcross = %v", got)
+	}
+}
