@@ -10,6 +10,7 @@ import (
 	"hnp/internal/exp"
 	"hnp/internal/hierarchy"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 	"hnp/internal/workload"
 )
@@ -160,6 +161,52 @@ func BenchmarkAPSP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.ShortestPaths(netgraph.MetricCost)
+	}
+}
+
+// --- telemetry overhead ----------------------------------------------------
+
+// BenchmarkDeploy measures the System planning path — the paper's
+// standard 128-node/max_cs=32 setting — with telemetry disabled (the
+// default) and enabled. The telemetry-off variant bounds what the
+// instrumentation costs when nobody is watching: every hook reduces to
+// one atomic load, and the delta against a hypothetical uninstrumented
+// build must stay within noise (≤2%). Compare the two sub-benchmarks to
+// see the full recording cost.
+func BenchmarkDeploy(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"telemetry-off", false}, {"telemetry-on", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			prev := obs.Enabled.Load()
+			obs.Enabled.Store(mode.on)
+			defer obs.Enabled.Store(prev)
+
+			g := TransitStubNetwork(128, 1)
+			sys, err := NewSystem(g, 32, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			ids := make([]StreamID, 6)
+			for i := range ids {
+				ids[i] = sys.AddStream("s", 1+rng.Float64()*50, NodeID(rng.Intn(128)))
+			}
+			for i := range ids {
+				for j := i + 1; j < len(ids); j++ {
+					sys.SetSelectivity(ids[i], ids[j], 0.005+0.01*rng.Float64())
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := 3 + i%3
+				if _, err := sys.Plan(ids[:k], NodeID(i%128), AlgoTopDown); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

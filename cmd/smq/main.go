@@ -9,20 +9,39 @@
 //	smq -fig 5,6 -workloads 3    # reduced averaging for quick runs
 //	smq -fig 9 -seed 7           # different randomness
 //	smq -fig all -parallel=false # single-goroutine run (same output)
+//	smq -explain                 # annotated per-level planner search trace
+//	smq -fig all -debug-addr :6060  # live /metrics, expvar and pprof
 //
 // By default figures are computed concurrently (and each figure's
 // internal sweeps fan out across cores); output is bit-identical to a
-// serial run and always rendered in figure order.
+// serial run and always rendered in figure order. Each completed figure
+// prints a one-line timing summary to stderr.
+//
+// -explain runs a canned two-query scenario (128-node transit-stub
+// network, max_cs=32) through both hierarchical optimizers and prints
+// each planning step — cluster level, coordinator, inputs joined, reuse
+// candidates offered, candidates examined, local search time, chosen cost
+// — followed by the telemetry snapshot, then exits.
+//
+// -debug-addr serves expvar (/debug/vars, including the process-wide
+// telemetry under "hnp"), pprof (/debug/pprof/) and a JSON telemetry
+// snapshot (/metrics) while figures compute; it also turns telemetry on,
+// so per-figure progress counters (exp.fig*.units_done) tick live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
+	"hnp"
 	"hnp/internal/exp"
+	"hnp/internal/obs"
 )
 
 func main() {
@@ -33,8 +52,22 @@ func main() {
 		queries   = flag.Int("queries", 20, "queries per workload in figs 5-8")
 		format    = flag.String("format", "table", "output format: table or csv")
 		parallel  = flag.Bool("parallel", true, "compute figures and their sweeps concurrently (output is identical either way)")
+		explain   = flag.Bool("explain", false, "print an annotated planner search narrative for a canned scenario and exit")
+		debugAddr = flag.String("debug-addr", "", "serve expvar, pprof and /metrics on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		hnp.EnableTelemetry()
+		serveDebug(*debugAddr)
+	}
+	if *explain {
+		if err := runExplain(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "smq: explain: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := exp.DefaultConfig()
 	cfg.Seed = *seed
@@ -68,12 +101,20 @@ func main() {
 	}
 
 	// Compute every requested figure (concurrently unless -parallel=false),
-	// then render in request order so output is stable.
+	// then render in request order so output is stable. Timing lines go to
+	// stderr as figures finish, keeping stdout machine-parseable.
 	type result struct {
-		fig *exp.Figure
-		err error
+		fig     *exp.Figure
+		err     error
+		elapsed time.Duration
 	}
 	results := make([]result, len(wanted))
+	compute := func(i int, id string) {
+		start := time.Now()
+		fig, err := harness[id](cfg)
+		results[i] = result{fig, err, time.Since(start)}
+		fmt.Fprintf(os.Stderr, "smq: figure %s computed in %s\n", id, results[i].elapsed.Round(time.Millisecond))
+	}
 	if *parallel {
 		var wg sync.WaitGroup
 		for i, id := range wanted {
@@ -81,15 +122,13 @@ func main() {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				fig, err := harness[id](cfg)
-				results[i] = result{fig, err}
+				compute(i, id)
 			}()
 		}
 		wg.Wait()
 	} else {
 		for i, id := range wanted {
-			fig, err := harness[id](cfg)
-			results[i] = result{fig, err}
+			compute(i, id)
 		}
 	}
 
@@ -104,4 +143,61 @@ func main() {
 			results[i].fig.Render(os.Stdout)
 		}
 	}
+}
+
+// runExplain deploys two overlapping queries on a canned 128-node system
+// with both hierarchical algorithms and prints each planner's annotated
+// search narrative, then the system telemetry snapshot.
+func runExplain(seed int64) error {
+	hnp.EnableTelemetry()
+	g := hnp.TransitStubNetwork(128, seed)
+	sys, err := hnp.NewSystem(g, 32, seed)
+	if err != nil {
+		return err
+	}
+	a := sys.AddStream("FLIGHTS", 40, 17)
+	b := sys.AddStream("WEATHER", 25, 93)
+	c := sys.AddStream("CHECKINS", 30, 55)
+	sys.SetSelectivity(a, b, 0.01)
+	sys.SetSelectivity(a, c, 0.02)
+	sys.SetSelectivity(b, c, 0.005)
+
+	// The first deployment fills the advertisement registry; the second,
+	// overlapping it, shows reuse candidates inside the narrative.
+	warm, err := sys.Deploy([]hnp.StreamID{a, b}, 9, hnp.AlgoTopDown)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== warm-up deploy: FLIGHTS⋈WEATHER via top-down (cost %.4g) ===\n", warm.Cost)
+	warm.ExplainTo(os.Stdout)
+
+	for _, algo := range []hnp.Algorithm{hnp.AlgoTopDown, hnp.AlgoBottomUp} {
+		d, err := sys.Plan([]hnp.StreamID{a, b, c}, 9, algo)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n=== FLIGHTS⋈WEATHER⋈CHECKINS via %v (cost %.4g) ===\n", algo, d.Cost)
+		d.ExplainTo(os.Stdout)
+	}
+
+	fmt.Println("\n=== telemetry snapshot ===")
+	return obs.TextSink{W: os.Stdout}.Emit(sys.Snapshot())
+}
+
+// serveDebug exposes expvar, pprof and a JSON telemetry snapshot in the
+// background for the lifetime of the process.
+func serveDebug(addr string) {
+	obs.PublishExpvar("hnp", obs.Default)
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := (obs.JSONSink{W: w}).Emit(obs.Default.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "smq: debug server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "smq: debug surface on http://%s (/debug/vars, /debug/pprof/, /metrics)\n", addr)
 }

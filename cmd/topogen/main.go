@@ -8,7 +8,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -34,12 +33,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
 		os.Exit(1)
 	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	fmt.Fprintf(w, "# transit-stub topology: %d nodes, %d links, seed %d\n",
-		g.NumNodes(), g.NumLinks(), *seed)
-	fmt.Fprintf(w, "# columns: nodeA nodeB costPerByte delaySeconds\n")
-	for _, l := range g.Links() {
-		fmt.Fprintf(w, "%d %d %.4f %.4f\n", l.A, l.B, l.Cost, l.Delay)
+	fmt.Printf("# transit-stub topology, seed %d\n", *seed)
+	if err := netgraph.WriteEdgeList(os.Stdout, g); err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
 	}
 }

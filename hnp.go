@@ -35,6 +35,7 @@ import (
 	"hnp/internal/hierarchy"
 	"hnp/internal/load"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 )
 
@@ -69,7 +70,20 @@ type (
 	PredSet = query.PredSet
 	// AggSpec describes a windowed aggregation over a query's result.
 	AggSpec = query.AggSpec
+	// Snapshot is a point-in-time copy of a system's telemetry (see
+	// System.Snapshot); counters, gauges and histogram summaries detached
+	// from the live metrics.
+	Snapshot = obs.Snapshot
 )
+
+// EnableTelemetry turns on metric recording process-wide. Telemetry is off
+// by default; when off, every instrumentation point reduces to one atomic
+// load (see the ≤2% bound asserted by BenchmarkDeploy).
+func EnableTelemetry() { obs.Enable() }
+
+// DisableTelemetry turns metric recording back off. Recorded values are
+// retained, not reset.
+func DisableTelemetry() { obs.Disable() }
 
 // MustPredSet builds a normalized predicate set, panicking on
 // contradictions — convenient for literals.
@@ -153,6 +167,12 @@ type System struct {
 	Catalog   *query.Catalog
 	Registry  *Registry
 
+	// Obs is the system's private telemetry registry: every component of
+	// this system records there (metric catalog in README), so concurrent
+	// systems — e.g. parallel experiments — never share counters. Recording
+	// only happens while EnableTelemetry is in effect.
+	Obs *obs.Registry
+
 	metric Metric
 
 	// mu guards the Paths/Hierarchy snapshot swap (Refresh) and loadAlpha
@@ -189,21 +209,33 @@ func NewSystem(g *Graph, maxCS int, seed int64) (*System, error) {
 // MetricDelay clusters the hierarchy by inter-node delay and every
 // planner minimizes rate-weighted latency instead of transfer cost.
 func NewSystemWithMetric(g *Graph, maxCS int, seed int64, m Metric) (*System, error) {
+	reg := obs.NewRegistry()
 	paths := g.ShortestPaths(m)
+	sp := obs.StartSpan(reg, "hierarchy.build")
 	h, err := hierarchy.Build(g, paths, maxCS, rand.New(rand.NewSource(seed)))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		Graph:     g,
 		Paths:     paths,
 		Hierarchy: h,
 		Catalog:   query.NewCatalog(0.01),
 		Registry:  ads.NewRegistry(),
+		Obs:       reg,
 		metric:    m,
 		tracker:   load.NewTracker(),
-	}, nil
+	}
+	s.Hierarchy.BindObs(reg)
+	s.Registry.BindObs(reg)
+	s.tracker.BindObs(reg)
+	return s, nil
 }
+
+// Snapshot returns a point-in-time copy of the system's telemetry,
+// detached from the live metrics. With telemetry disabled it is empty.
+func (s *System) Snapshot() Snapshot { return s.Obs.Snapshot() }
 
 // SetLoadPenalty enables load-aware planning: placing an operator on a
 // node already processing load L costs an extra alpha×L×inputRate in the
@@ -275,8 +307,7 @@ func (s *System) DeployWhere(sources []StreamID, sink NodeID, algo Algorithm, pr
 	if err != nil {
 		return Deployment{}, err
 	}
-	s.Registry.AdvertisePlan(d.Query, d.Result.Plan)
-	s.tracker.AddPlan(d.Result.Plan)
+	s.deployRecord(d.Query, d.Result)
 	return d, nil
 }
 
@@ -294,8 +325,7 @@ func (s *System) DeployCQL(stmt string, sink NodeID, algo Algorithm) (Deployment
 	if err != nil {
 		return Deployment{}, err
 	}
-	s.Registry.AdvertisePlan(d.Query, d.Result.Plan)
-	s.tracker.AddPlan(d.Result.Plan)
+	s.deployRecord(d.Query, d.Result)
 	return d, nil
 }
 
@@ -331,9 +361,64 @@ func (s *System) DeployAggregate(sources []StreamID, sink NodeID, algo Algorithm
 	if err != nil {
 		return Deployment{}, err
 	}
+	s.deployRecord(q, res)
+	return Deployment{Query: q, Result: res}, nil
+}
+
+// deployRecord finalizes a deployment: the plan's operators are advertised
+// for future reuse and its processing load is accounted. With telemetry
+// enabled the reuse outcome is classified first, against the registry
+// state the planner saw: every derived leaf the plan consumes is a hit
+// ("ads.reuse_hits"); a deployment that was offered reuse candidates yet
+// consumed none is a miss ("ads.reuse_misses" — duplicating the work was
+// cheaper).
+func (s *System) deployRecord(q *Query, res Result) {
+	if obs.On() {
+		hits := derivedLeaves(res.Plan)
+		s.Obs.Counter("ads.reuse_hits").Add(int64(hits))
+		if hits == 0 && s.reuseWasOffered(q, res) {
+			s.Obs.Counter("ads.reuse_misses").Inc()
+		}
+	}
 	s.Registry.AdvertisePlan(q, res.Plan)
 	s.tracker.AddPlan(res.Plan)
-	return Deployment{Query: q, Result: res}, nil
+}
+
+// reuseWasOffered reports whether the planner saw at least one applicable
+// advertisement: from the planning trace when there is one, otherwise
+// (baseline planners) by re-running the advertisement lookup.
+func (s *System) reuseWasOffered(q *Query, res Result) bool {
+	if res.Trace != nil {
+		offered := 0
+		var walk func(st *core.PlanStep)
+		walk = func(st *core.PlanStep) {
+			if st == nil {
+				return
+			}
+			offered += st.ReuseOffered
+			for _, ch := range st.Children {
+				walk(ch)
+			}
+		}
+		walk(res.Trace)
+		return offered > 0
+	}
+	return len(s.Registry.InputsFor(q, query.BuildRates(s.Catalog, q), nil)) > 0
+}
+
+// derivedLeaves counts the plan leaves satisfied by reused (previously
+// advertised) derived streams.
+func derivedLeaves(n *PlanNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		if n.In != nil && n.In.Derived {
+			return 1
+		}
+		return 0
+	}
+	return derivedLeaves(n.L) + derivedLeaves(n.R)
 }
 
 func (s *System) run(q *query.Query, algo Algorithm) (Result, error) {
@@ -341,7 +426,7 @@ func (s *System) run(q *query.Query, algo Algorithm) (Result, error) {
 	// Refresh's snapshot swap excludes them all.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var opts core.Options
+	opts := core.Options{Obs: s.Obs}
 	if s.loadAlpha > 0 {
 		opts.Penalty = s.tracker.Penalty(s.loadAlpha)
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 )
 
@@ -41,10 +42,28 @@ type Registry struct {
 	mu    sync.RWMutex
 	bySig map[string][]Ad
 	count int
+
+	// Telemetry handles (nil until BindObs; all nil-safe no-ops then).
+	obsAdvertised *obs.Counter
+	obsDuplicates *obs.Counter
+	obsLookups    *obs.Counter
+	obsOffered    *obs.Counter
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{bySig: map[string][]Ad{}} }
+
+// BindObs connects the registry to a telemetry registry: advertisement
+// counts ("ads.advertised", "ads.duplicates") and reuse-lookup activity
+// ("ads.lookups", "ads.reuse_offered") are recorded there. Reuse
+// hit/miss outcomes are a planning-level judgement and are recorded by
+// the deployment layer (see hnp.System), not here.
+func (r *Registry) BindObs(reg *obs.Registry) {
+	r.obsAdvertised = reg.Counter("ads.advertised")
+	r.obsDuplicates = reg.Counter("ads.duplicates")
+	r.obsLookups = reg.Counter("ads.lookups")
+	r.obsOffered = reg.Counter("ads.reuse_offered")
+}
 
 // Advertise records an ad. A duplicate (same signature at the same node)
 // is ignored, matching the one-time advertisement semantics of the paper.
@@ -54,11 +73,13 @@ func (r *Registry) Advertise(ad Ad) bool {
 	defer r.mu.Unlock()
 	for _, ex := range r.bySig[ad.Sig] {
 		if ex.Node == ad.Node {
+			r.obsDuplicates.Inc()
 			return false
 		}
 	}
 	r.bySig[ad.Sig] = append(r.bySig[ad.Sig], ad)
 	r.count++
+	r.obsAdvertised.Inc()
 	return true
 }
 
@@ -127,6 +148,7 @@ func (r *Registry) All() []Ad {
 // taken from the query's rate table (which already reflects the query's
 // own predicates) so reuse and fresh computation are costed consistently.
 func (r *Registry) InputsFor(q *query.Query, rt query.RateTable, within func(netgraph.NodeID) bool) []query.Input {
+	r.obsLookups.Inc()
 	var out []query.Input
 	for _, ad := range r.All() {
 		mask, ok := q.MaskOf(ad.Streams)
@@ -154,6 +176,7 @@ func (r *Registry) InputsFor(q *query.Query, rt query.RateTable, within func(net
 		}
 		out = append(out, in)
 	}
+	r.obsOffered.Add(int64(len(out)))
 	return out
 }
 

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"hnp/internal/ads"
 	costpkg "hnp/internal/cost"
 	"hnp/internal/hierarchy"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 )
 
@@ -29,6 +31,9 @@ func BottomUp(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg *a
 
 // BottomUpOpts is BottomUp with explicit Options.
 func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg *ads.Registry, opts Options) (Result, error) {
+	sp := obs.StartSpan(opts.Obs, "core.bottomup.plan")
+	defer sp.End()
+	po := newPlannerObs(opts.Obs, "bottomup")
 	rt := query.BuildRates(cat, q)
 	full := q.All()
 	pending := BaseInputs(cat, q, rt)
@@ -40,6 +45,7 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 	var traceRoot, traceTip *PlanStep
 
 	for l := 1; l <= h.Height(); l++ {
+		start := time.Now()
 		c := h.ClusterOf(h.Rep(q.Sink, l), l)
 		if c == nil {
 			return Result{}, fmt.Errorf("bottom-up: sink %d has no cluster at level %d", q.Sink, l)
@@ -77,10 +83,12 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 
 		// Offer every locally advertised derived stream to the search.
 		inputs := append([]query.Input(nil), leaves...)
+		reuseOffered := 0
 		if reg != nil {
 			for _, in := range reg.InputsFor(q, rt, func(n netgraph.NodeID) bool { return coverSet[n] }) {
 				if in.Mask&goal == in.Mask {
 					inputs = append(inputs, in)
+					reuseOffered++
 				}
 			}
 		}
@@ -94,7 +102,7 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 		// refined greedily into the members' sub-clusters — no recursive
 		// re-enumeration, which is what keeps Bottom-Up's search space and
 		// deployment time small.
-		plan, _, err := Solve(Problem{
+		plan, cost0, err := Solve(Problem{
 			Inputs: inputs, Sites: c.Members, Dist: h.Paths().Dist, Rates: rt,
 			Goal: goal, Sink: q.Sink, Deliver: true, Penalty: opts.Penalty,
 		})
@@ -102,13 +110,18 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 			return Result{}, fmt.Errorf("bottom-up: level %d: %w", l, err)
 		}
 		step := &PlanStep{
-			Level:       l,
-			Coordinator: c.Coordinator,
-			Plans:       costpkg.ClusterSpace(len(avail), len(c.Members)),
+			Level:        l,
+			Coordinator:  c.Coordinator,
+			Plans:        costpkg.ClusterSpace(len(avail), len(c.Members)),
+			Inputs:       len(inputs),
+			ReuseOffered: reuseOffered,
+			BestCost:     cost0,
 		}
 		step.Plans += refinePlacements(h, c, plan, q.Sink, opts.Penalty)
+		step.Elapsed = time.Since(start)
 		plans += step.Plans
 		clusters++
+		po.search(step)
 		if traceTip == nil {
 			traceRoot, traceTip = step, step
 		} else {

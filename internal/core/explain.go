@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// TraceTotals sums the examined-candidate accounting over the planning
+// trace: the total number of candidate solutions and the number of
+// cluster-level searches performed (pass-through steps, which examine
+// nothing, are excluded). For Top-Down and Bottom-Up results these totals
+// equal Result.PlansConsidered and Result.ClustersPlanned exactly — the
+// trace is the accounting, not a parallel estimate.
+func (r *Result) TraceTotals() (plans float64, searches int) {
+	var walk func(s *PlanStep)
+	walk = func(s *PlanStep) {
+		if s == nil {
+			return
+		}
+		plans += s.Plans
+		if s.Plans > 0 {
+			searches++
+		}
+		for _, ch := range s.Children {
+			walk(ch)
+		}
+	}
+	walk(r.Trace)
+	return plans, searches
+}
+
+// ExplainTo renders the planning trace as an annotated per-level search
+// narrative: one line per coordinator-local planning step, indented by
+// protocol depth, followed by a totals line tying the narrative back to
+// the Result's search-space accounting.
+func (r *Result) ExplainTo(w io.Writer) {
+	if r.Trace == nil {
+		fmt.Fprintln(w, "no planning trace (baseline or exhaustive planner)")
+		return
+	}
+	var walk func(s *PlanStep, depth int)
+	walk = func(s *PlanStep, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if s.Plans == 0 {
+			fmt.Fprintf(w, "%slevel %d @node %d: pass-through (single stream, nothing to join)\n",
+				indent, s.Level, s.Coordinator)
+		} else {
+			fmt.Fprintf(w, "%slevel %d @node %d: joined %d inputs (%d reuse ads offered), examined %s candidates in %v, best est. cost %.4g\n",
+				indent, s.Level, s.Coordinator, s.Inputs, s.ReuseOffered,
+				fmtPlans(s.Plans), s.Elapsed.Round(0), s.BestCost)
+		}
+		for _, ch := range s.Children {
+			walk(ch, depth+1)
+		}
+	}
+	walk(r.Trace, 0)
+	plans, searches := r.TraceTotals()
+	status := "consistent"
+	if !sameCount(plans, r.PlansConsidered) || searches != r.ClustersPlanned {
+		status = fmt.Sprintf("MISMATCH vs Result accounting (PlansConsidered=%s, ClustersPlanned=%d)",
+			fmtPlans(r.PlansConsidered), r.ClustersPlanned)
+	}
+	fmt.Fprintf(w, "totals: %s candidates across %d cluster searches, %d levels visited, final cost %.4g — %s\n",
+		fmtPlans(plans), searches, r.LevelsVisited, r.Cost, status)
+}
+
+// Explain returns ExplainTo's narrative as a string.
+func (r *Result) Explain() string {
+	var b strings.Builder
+	r.ExplainTo(&b)
+	return b.String()
+}
+
+// sameCount compares two search-space counts up to float rounding (they
+// are sums of the same terms in different orders).
+func sameCount(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// fmtPlans prints a search-space count: exact integers below 1e15, 3-digit
+// scientific notation for the astronomically large.
+func fmtPlans(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
 )
@@ -35,8 +37,23 @@ type PlanStep struct {
 	Level int
 	// Coordinator is the physical node that performed the search.
 	Coordinator netgraph.NodeID
-	// Plans is the nominal number of solutions examined.
+	// Plans is the nominal number of solutions examined. Pass-through
+	// steps (a single stream flowing to its consumer) examine nothing and
+	// report 0, so summing Plans over the trace always reproduces the
+	// Result's PlansConsidered accounting exactly.
 	Plans float64
+	// Inputs is the number of streams the step joined over (leaves of the
+	// view plus any reuse candidates offered to the search).
+	Inputs int
+	// ReuseOffered is how many advertised derived streams were offered to
+	// this step's search.
+	ReuseOffered int
+	// BestCost is the estimated cost of the solution the step chose,
+	// measured with the per-level distance estimates it planned under (0
+	// for pass-through steps).
+	BestCost float64
+	// Elapsed is the wall-clock (monotonic) time the step's search took.
+	Elapsed time.Duration
 	// Children are the plannings triggered by this step (views handed to
 	// lower-level coordinators for Top-Down, the next level's rewrite for
 	// Bottom-Up).

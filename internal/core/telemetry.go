@@ -1,0 +1,40 @@
+package core
+
+import (
+	"hnp/internal/obs"
+)
+
+// plannerObs carries the pre-bound telemetry handles one optimizer run
+// records into. The zero value (nil handles) is a no-op, so planners
+// instrument unconditionally and pay nothing when observation is off.
+type plannerObs struct {
+	// plans accumulates fractional search-space counts, so it is a gauge
+	// used as a float accumulator rather than an integer counter.
+	plans    *obs.Gauge
+	clusters *obs.Counter
+	levels   *obs.Histogram
+	reuse    *obs.Counter
+}
+
+// newPlannerObs binds the per-algorithm metric handles ("core.<algo>.*").
+// A nil registry — or observation being disabled — yields the no-op zero
+// value without touching the registry.
+func newPlannerObs(reg *obs.Registry, algo string) plannerObs {
+	if reg == nil || !obs.On() {
+		return plannerObs{}
+	}
+	return plannerObs{
+		plans:    reg.Gauge("core." + algo + ".plans_considered"),
+		clusters: reg.Counter("core." + algo + ".clusters_planned"),
+		levels:   reg.Histogram("core."+algo+".level_seconds", nil),
+		reuse:    reg.Counter("core." + algo + ".reuse_offered"),
+	}
+}
+
+// search records one completed cluster-level search step.
+func (po plannerObs) search(s *PlanStep) {
+	po.plans.Add(s.Plans)
+	po.clusters.Inc()
+	po.levels.Observe(s.Elapsed.Seconds())
+	po.reuse.Add(int64(s.ReuseOffered))
+}

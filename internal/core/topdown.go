@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hnp/internal/ads"
 	costpkg "hnp/internal/cost"
 	"hnp/internal/hierarchy"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 )
 
@@ -28,12 +30,18 @@ type Options struct {
 	// Penalty adds a processing-load placement term (see Problem.Penalty);
 	// nil disables load awareness.
 	Penalty func(v netgraph.NodeID, inRate float64) float64
+	// Obs, when non-nil and obs.Enabled, receives planner telemetry:
+	// per-level search spans, candidates examined, reuse inputs offered
+	// (metric names "core.<algo>.*").
+	Obs *obs.Registry
 }
 
 // TopDownOpts is TopDown with explicit Options.
 func TopDownOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg *ads.Registry, opts Options) (Result, error) {
+	sp := obs.StartSpan(opts.Obs, "core.topdown.plan")
+	defer sp.End()
 	rt := query.BuildRates(cat, q)
-	td := &tdPlanner{h: h, q: q, rt: rt, reg: reg, opts: opts}
+	td := &tdPlanner{h: h, q: q, rt: rt, reg: reg, opts: opts, obs: newPlannerObs(opts.Obs, "topdown")}
 	plan, trace, err := td.planView(h.Top(), BaseInputs(cat, q, rt), q.Sink, true)
 	if err != nil {
 		return Result{}, fmt.Errorf("top-down: %w", err)
@@ -58,6 +66,7 @@ type tdPlanner struct {
 	rt       query.RateTable
 	reg      *ads.Registry
 	opts     Options
+	obs      plannerObs
 	plans    float64
 	clusters int
 }
@@ -66,10 +75,14 @@ type tdPlanner struct {
 // c, shipping the result toward out (costed when deliver is set), and
 // recursively refines operator placements down to physical nodes.
 func (td *tdPlanner) planView(c *hierarchy.Cluster, leaves []query.Input, out netgraph.NodeID, deliver bool) (*query.PlanNode, *PlanStep, error) {
-	step := &PlanStep{Level: c.Level, Coordinator: c.Coordinator, Plans: 1}
+	start := time.Now()
+	step := &PlanStep{Level: c.Level, Coordinator: c.Coordinator}
 	goal := unionMask(leaves)
 	if len(leaves) == 1 && leaves[0].Mask == goal {
-		// Nothing to join; the stream flows to its consumer directly.
+		// Nothing to join; the stream flows to its consumer directly. The
+		// step examines no candidates (Plans stays 0), keeping the trace's
+		// totals equal to the search-space accounting.
+		step.Elapsed = time.Since(start)
 		return query.Leaf(leaves[0]), step, nil
 	}
 
@@ -79,6 +92,7 @@ func (td *tdPlanner) planView(c *hierarchy.Cluster, leaves []query.Input, out ne
 		for _, in := range td.reg.InputsFor(td.q, td.rt, func(n netgraph.NodeID) bool { return coverSet[n] }) {
 			if in.Mask&goal == in.Mask {
 				inputs = append(inputs, in)
+				step.ReuseOffered++
 			}
 		}
 	}
@@ -96,7 +110,7 @@ func (td *tdPlanner) planView(c *hierarchy.Cluster, leaves []query.Input, out ne
 	}
 	est := func(a, b netgraph.NodeID) float64 { return paths.Dist(rep(a), rep(b)) }
 
-	plan0, _, err := Solve(Problem{
+	plan0, cost0, err := Solve(Problem{
 		Inputs: inputs, Sites: c.Members, Dist: est, Rates: td.rt,
 		Goal: goal, Sink: out, Deliver: deliver, Penalty: td.opts.Penalty,
 	})
@@ -104,8 +118,12 @@ func (td *tdPlanner) planView(c *hierarchy.Cluster, leaves []query.Input, out ne
 		return nil, nil, fmt.Errorf("level %d: %w", level, err)
 	}
 	step.Plans = costpkg.ClusterSpace(len(leaves), len(c.Members))
+	step.Inputs = len(inputs)
+	step.BestCost = cost0
+	step.Elapsed = time.Since(start) // local search only; children time themselves
 	td.plans += step.Plans
 	td.clusters++
+	td.obs.search(step)
 
 	if level == 1 || plan0.IsLeaf() {
 		// Placements are physical (level 1) or the goal was met by a

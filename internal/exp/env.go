@@ -138,6 +138,7 @@ func cumulativeAveraged(cfg Config, fn func(w *workload.Workload, rng *rand.Rand
 			return err
 		}
 		rows[wi] = stats.Cumulative(costs)
+		cfg.markProgress()
 		return nil
 	})
 	if err != nil {

@@ -49,6 +49,7 @@ func newTestbed(seed int64) (*testbed, error) {
 // Top-Down and Bottom-Up at cluster sizes 4 and 8 on the Emulab-substitute
 // testbed. The paper reports Bottom-Up deploying ~70% faster.
 func Fig10(cfg Config) (*Figure, error) {
+	cfg.fig = "fig10"
 	tb, err := newTestbed(cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -109,6 +110,7 @@ func Fig10(cfg Config) (*Figure, error) {
 			ys[si] = stats.Mean(times)
 		}
 		f.Series = append(f.Series, Series{Name: a.name, X: xs, Y: ys})
+		cfg.markProgress()
 		if a.bottomUp {
 			buSum += stats.Mean(ys)
 		} else {
@@ -128,6 +130,7 @@ func Fig10(cfg Config) (*Figure, error) {
 // model by running all deployed plans in the IFLOW runtime and comparing
 // measured and predicted cost rates.
 func Fig11(cfg Config) (*Figure, error) {
+	cfg.fig = "fig11"
 	tb, err := newTestbed(cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -164,6 +167,7 @@ func Fig11(cfg Config) (*Figure, error) {
 		}
 		keep[a.name] = results
 		f.Series = append(f.Series, Series{Name: a.name, X: seqX(len(costs)), Y: stats.Cumulative(costs)})
+		cfg.markProgress()
 	}
 	td4, bu4 := f.Final("Top-Down (cluster size=4)"), f.Final("Bottom-Up (cluster size=4)")
 	td8, bu8 := f.Final("Top-Down (cluster size=8)"), f.Final("Bottom-Up (cluster size=8)")

@@ -29,6 +29,10 @@ type Config struct {
 	// per-series sweeps run on one goroutine. Output is bit-identical
 	// either way; the zero value (parallel) is the default.
 	Serial bool
+
+	// fig names the figure currently running; set by each Fig entry point
+	// so shared harness code can label its progress telemetry.
+	fig string
 }
 
 // DefaultConfig reproduces the paper's experiment scale.
@@ -43,6 +47,7 @@ func DefaultConfig() Config {
 // against our approach (Top-Down, which considers plans and deployments
 // simultaneously). The paper reports >50% savings for the joint approach.
 func Fig2(cfg Config) (*Figure, error) {
+	cfg.fig = "fig2"
 	const (
 		nodes   = 64
 		queries = 10
@@ -88,6 +93,7 @@ func Fig2(cfg Config) (*Figure, error) {
 			return nil, err
 		}
 		f.Series = append(f.Series, Series{Name: r.name, X: seqX(queries), Y: stats.Cumulative(costs)})
+		cfg.markProgress()
 	}
 	relax, ptd, ours := f.Final("Relaxation"), f.Final("Plan-then-deploy"), f.Final("Our approach (Top-Down)")
 	f.AddNote("savings vs Relaxation: %.1f%% (paper: >50%%)", 100*(1-ours/relax))

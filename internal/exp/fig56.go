@@ -20,6 +20,7 @@ var clusterSizes = []int{2, 4, 8, 16, 32, 64}
 // for each max_cs.
 func fig56(cfg Config, id, algo string,
 	run func(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg *ads.Registry) (core.Result, error)) (*Figure, error) {
+	cfg.fig = id
 	const nodes = 128
 	e := newEnv(nodes, cfg.Seed)
 	f := &Figure{

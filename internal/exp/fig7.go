@@ -15,6 +15,7 @@ import (
 // savings from reuse and 10%/34% average sub-optimality for
 // Top-Down/Bottom-Up.
 func Fig7(cfg Config) (*Figure, error) {
+	cfg.fig = "fig7"
 	const (
 		nodes = 128
 		maxCS = 32

@@ -16,6 +16,7 @@ import (
 // zones, matching max_cs), all with operator reuse. The paper reports
 // Top-Down saving ~40% vs In-network and ~59% vs Relaxation.
 func Fig8(cfg Config) (*Figure, error) {
+	cfg.fig = "fig8"
 	const (
 		nodes  = 128
 		maxCS  = 32

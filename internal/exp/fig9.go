@@ -19,6 +19,7 @@ import (
 // paper) and the analytical worst-case bound β·O_exhaustive (Theorems 2
 // and 4). Queries join 4 streams from a pool of 100 sources.
 func Fig9(cfg Config) (*Figure, error) {
+	cfg.fig = "fig9"
 	sizes := cfg.Fig9Sizes
 	if len(sizes) == 0 {
 		sizes = []int{128, 256, 512, 1024}
@@ -71,6 +72,7 @@ func Fig9(cfg Config) (*Figure, error) {
 		buY[i] = stats.Mean(bus)
 		exY[i] = costpkg.Lemma1(4, n)
 		boundY[i] = costpkg.HierarchicalSpaceBound(4, n, maxCS, h.Height())
+		cfg.markProgress()
 		return nil
 	})
 	if err != nil {

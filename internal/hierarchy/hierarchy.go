@@ -18,6 +18,7 @@ import (
 
 	"hnp/internal/cluster"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 )
 
 // Cluster is one network partition at some level of the hierarchy.
@@ -71,6 +72,22 @@ type Hierarchy struct {
 
 	coverMu sync.Mutex
 	cover   map[*Cluster][]netgraph.NodeID
+
+	// Telemetry handles (nil until BindObs; all nil-safe no-ops then).
+	// obsReg is kept so maintenance operations can open spans.
+	obsReg    *obs.Registry
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
+}
+
+// BindObs connects the hierarchy to a telemetry registry: cover-cache
+// effectiveness ("hierarchy.cover_hits", "hierarchy.cover_misses") and
+// maintenance timings ("hierarchy.rebind.*", "hierarchy.add_node.*",
+// "hierarchy.remove_node.*" span metrics) are recorded there.
+func (h *Hierarchy) BindObs(reg *obs.Registry) {
+	h.obsReg = reg
+	h.obsHits = reg.Counter("hierarchy.cover_hits")
+	h.obsMisses = reg.Counter("hierarchy.cover_misses")
 }
 
 // Build constructs a hierarchy over the nodes of g with at most maxCS
@@ -231,8 +248,10 @@ func (h *Hierarchy) Cover(c *Cluster) []netgraph.NodeID {
 
 func (h *Hierarchy) coverLocked(c *Cluster) []netgraph.NodeID {
 	if got, ok := h.cover[c]; ok {
+		h.obsHits.Inc()
 		return got
 	}
+	h.obsMisses.Inc()
 	var out []netgraph.NodeID
 	if c.Level == 1 {
 		out = append([]netgraph.NodeID(nil), c.Members...)

@@ -6,6 +6,7 @@ import (
 
 	"hnp/internal/cluster"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 )
 
 // Rebind replaces the path snapshot the hierarchy measures costs against.
@@ -16,6 +17,8 @@ import (
 // every cost the hierarchy reports would silently reflect a network that
 // no longer exists.
 func (h *Hierarchy) Rebind(paths *netgraph.Paths) error {
+	sp := obs.StartSpan(h.obsReg, "hierarchy.rebind")
+	defer sp.End()
 	if paths.StaleFor(h.g) {
 		return fmt.Errorf("hierarchy: Rebind with stale path snapshot (snapshot version %d, graph version %d)",
 			paths.Version(), h.g.Version())
@@ -39,6 +42,8 @@ func (h *Hierarchy) Rebind(paths *netgraph.Paths) error {
 // The node must already exist in the graph and be covered by the current
 // path snapshot (use Rebind after extending the graph).
 func (h *Hierarchy) AddNode(v netgraph.NodeID) error {
+	sp := obs.StartSpan(h.obsReg, "hierarchy.add_node")
+	defer sp.End()
 	if int(v) >= h.g.NumNodes() {
 		return fmt.Errorf("hierarchy: node %d not in graph", v)
 	}
@@ -158,6 +163,8 @@ func (h *Hierarchy) split(c *Cluster) {
 // and the replacement propagates up the hierarchy, mirroring the paper's
 // coordinator back-up promotion. Empty clusters dissolve.
 func (h *Hierarchy) RemoveNode(v netgraph.NodeID) error {
+	sp := obs.StartSpan(h.obsReg, "hierarchy.remove_node")
+	defer sp.End()
 	c := h.lvls[0].byNode[v]
 	if c == nil {
 		return fmt.Errorf("hierarchy: node %d not present", v)

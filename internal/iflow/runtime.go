@@ -13,6 +13,7 @@ import (
 
 	"hnp/internal/des"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 )
 
 // Tuple is one data item on a stream.
@@ -119,6 +120,24 @@ type SinkStats struct {
 	LatencySum float64
 }
 
+// MeanLatency returns the average end-to-end delivery latency in seconds,
+// or 0 before the first tuple arrives (never divides by zero).
+func (s *SinkStats) MeanLatency() float64 {
+	if s == nil || s.Tuples == 0 {
+		return 0
+	}
+	return s.LatencySum / float64(s.Tuples)
+}
+
+// Rate returns the delivery rate in tuples per second over the elapsed
+// simulation time, or 0 when no time has passed.
+func (s *SinkStats) Rate(elapsed float64) float64 {
+	if s == nil || elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Tuples) / elapsed
+}
+
 // Runtime is the simulated IFLOW deployment substrate.
 type Runtime struct {
 	Sim   *des.Sim
@@ -137,6 +156,36 @@ type Runtime struct {
 	// deployed cost per unit time is TotalCost / elapsed time.
 	TotalCost  float64
 	TotalBytes float64
+
+	// Count-based transport statistics. The simulation is single-threaded
+	// (see des.Sim), so plain fields suffice; rates derived from them must
+	// come from Stats/CostRate/EmitRates, which guard the zero-time window.
+	//
+	// TuplesTransferred counts tuples that crossed at least one link
+	// (node-local handoffs are free and not counted).
+	TuplesTransferred int64
+	// TuplesDropped counts tuples discarded in flight because their
+	// consumer was undeployed before arrival.
+	TuplesDropped int64
+	// WindowExpired counts tuples evicted from join windows.
+	WindowExpired int64
+
+	// Telemetry handles (nil until BindObs; all nil-safe no-ops then).
+	obsTransferred *obs.Counter
+	obsDropped     *obs.Counter
+	obsExpired     *obs.Counter
+	obsCost        *obs.Gauge
+}
+
+// BindObs connects the runtime to a telemetry registry: transport counts
+// ("iflow.tuples_transferred", "iflow.tuples_dropped",
+// "iflow.window_expired" counters) and the accumulated bytes×cost
+// ("iflow.bytes_cost" gauge) are recorded there.
+func (rt *Runtime) BindObs(reg *obs.Registry) {
+	rt.obsTransferred = reg.Counter("iflow.tuples_transferred")
+	rt.obsDropped = reg.Counter("iflow.tuples_dropped")
+	rt.obsExpired = reg.Counter("iflow.window_expired")
+	rt.obsCost = reg.Gauge("iflow.bytes_cost")
 }
 
 // New builds a runtime over a network. Streams route along cost-shortest
@@ -177,6 +226,9 @@ func (rt *Runtime) transfer(from, to netgraph.NodeID, t Tuple, deliver func(Tupl
 	if from != to {
 		rt.TotalCost += t.Size * rt.Cost.Dist(from, to)
 		rt.TotalBytes += t.Size
+		rt.TuplesTransferred++
+		rt.obsTransferred.Inc()
+		rt.obsCost.Set(rt.TotalCost)
 	}
 	delay := rt.Delay.Dist(from, to)
 	rt.Sim.Schedule(delay, func() { deliver(t) })
@@ -199,6 +251,8 @@ func (rt *Runtime) emit(op *Operator, t Tuple) {
 		}
 		dst := rt.ops[sub.dst]
 		if dst == nil {
+			rt.TuplesDropped++
+			rt.obsDropped.Inc()
 			continue // consumer undeployed mid-flight
 		}
 		s := sub.side
@@ -211,6 +265,8 @@ func (rt *Runtime) emit(op *Operator, t Tuple) {
 // emit matches, and insert.
 func (rt *Runtime) receive(op *Operator, s side, t Tuple) {
 	if rt.ops[op.key] != op {
+		rt.TuplesDropped++
+		rt.obsDropped.Inc()
 		return // operator was undeployed while the tuple was in flight
 	}
 	if op.isFilter {
@@ -233,8 +289,13 @@ func (rt *Runtime) receive(op *Operator, s side, t Tuple) {
 		return
 	}
 	now := rt.Sim.Now()
+	before := len(op.left) + len(op.right)
 	op.left = expire(op.left, now-op.window)
 	op.right = expire(op.right, now-op.window)
+	if n := before - len(op.left) - len(op.right); n > 0 {
+		rt.WindowExpired += int64(n)
+		rt.obsExpired.Add(int64(n))
+	}
 	mine, other := &op.left, &op.right
 	if s == rightSide {
 		mine, other = &op.right, &op.left
@@ -315,9 +376,62 @@ func (rt *Runtime) RunFor(d float64) { rt.Sim.RunUntil(rt.Sim.Now() + d) }
 
 // CostRate returns accumulated transfer cost divided by elapsed time —
 // the measured analogue of the optimizers' cost-per-unit-time objective.
+// It is 0 before any virtual time has passed; consult Stats for the raw
+// counts when the rate alone cannot distinguish "no traffic" from "no
+// elapsed window".
 func (rt *Runtime) CostRate() float64 {
-	if rt.Sim.Now() == 0 {
+	if rt.Sim.Now() <= 0 {
 		return 0
 	}
 	return rt.TotalCost / rt.Sim.Now()
+}
+
+// Stats is a point-in-time copy of the runtime's count-based transport
+// statistics. Counts are exact; every derived rate guards the zero-time
+// window, so a freshly built runtime reports zeros, not NaNs.
+type Stats struct {
+	TuplesTransferred int64
+	TuplesDropped     int64
+	WindowExpired     int64
+	TotalCost         float64
+	TotalBytes        float64
+	Elapsed           float64
+	Operators         int
+}
+
+// CostRate returns TotalCost per second of elapsed virtual time (0 when
+// no time has passed).
+func (s Stats) CostRate() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return s.TotalCost / s.Elapsed
+}
+
+// Stats snapshots the runtime's transport counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		TuplesTransferred: rt.TuplesTransferred,
+		TuplesDropped:     rt.TuplesDropped,
+		WindowExpired:     rt.WindowExpired,
+		TotalCost:         rt.TotalCost,
+		TotalBytes:        rt.TotalBytes,
+		Elapsed:           rt.Sim.Now(),
+		Operators:         len(rt.ops),
+	}
+}
+
+// EmitRates returns each live operator's output rate in tuples per second
+// of elapsed virtual time, keyed "sig@node". Before any time has passed it
+// returns nil rather than dividing by a zero window.
+func (rt *Runtime) EmitRates() map[string]float64 {
+	elapsed := rt.Sim.Now()
+	if elapsed <= 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(rt.ops))
+	for key, op := range rt.ops {
+		out[fmt.Sprintf("%s@%d", key.sig, key.node)] = float64(op.OutCount) / elapsed
+	}
+	return out
 }

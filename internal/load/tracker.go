@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 )
 
@@ -20,11 +21,39 @@ import (
 type Tracker struct {
 	mu   sync.Mutex
 	load map[netgraph.NodeID]float64
+
+	// Telemetry handles (nil until BindObs; all nil-safe no-ops then).
+	obsTotal   *obs.Gauge
+	obsNodes   *obs.Gauge
+	obsPenalty *obs.Counter
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
 	return &Tracker{load: map[netgraph.NodeID]float64{}}
+}
+
+// BindObs connects the tracker to a telemetry registry: the aggregate
+// tracked load ("load.total_rate" gauge), the number of loaded nodes
+// ("load.loaded_nodes" gauge), and how often planners consulted the
+// penalty ("load.penalty_calls" counter) are recorded there.
+func (t *Tracker) BindObs(reg *obs.Registry) {
+	t.obsTotal = reg.Gauge("load.total_rate")
+	t.obsNodes = reg.Gauge("load.loaded_nodes")
+	t.obsPenalty = reg.Counter("load.penalty_calls")
+}
+
+// publishLocked refreshes the gauges; callers hold t.mu.
+func (t *Tracker) publishLocked() {
+	if t.obsTotal == nil {
+		return
+	}
+	total := 0.0
+	for _, r := range t.load {
+		total += r
+	}
+	t.obsTotal.Set(total)
+	t.obsNodes.Set(float64(len(t.load)))
 }
 
 // Load returns the tracked input rate on a node.
@@ -43,6 +72,7 @@ func (t *Tracker) AddPlan(plan *query.PlanNode) {
 	for _, op := range plan.Operators() {
 		t.load[op.Loc] += op.InputRate()
 	}
+	t.publishLocked()
 }
 
 // RemovePlan reverses AddPlan for an undeployed plan.
@@ -55,6 +85,7 @@ func (t *Tracker) RemovePlan(plan *query.PlanNode) {
 			delete(t.load, op.Loc)
 		}
 	}
+	t.publishLocked()
 }
 
 // AddRaw adds synthetic background load to a node (e.g. an overloaded
@@ -63,6 +94,7 @@ func (t *Tracker) AddRaw(v netgraph.NodeID, inRate float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.load[v] += inRate
+	t.publishLocked()
 }
 
 // Penalty returns a planning penalty function: placing an operator with
@@ -72,6 +104,7 @@ func (t *Tracker) AddRaw(v netgraph.NodeID, inRate float64) {
 // follow deployments.
 func (t *Tracker) Penalty(alpha float64) func(v netgraph.NodeID, inRate float64) float64 {
 	return func(v netgraph.NodeID, inRate float64) float64 {
+		t.obsPenalty.Inc()
 		return alpha * t.Load(v) * inRate
 	}
 }

@@ -1,0 +1,66 @@
+package netgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := MustTransitStub(64, rng)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumLinks() != g.NumLinks() {
+		t.Fatalf("round trip: %d nodes %d links, want %d nodes %d links",
+			got.NumNodes(), got.NumLinks(), g.NumNodes(), g.NumLinks())
+	}
+	// Path structure must survive: compare all-pairs cost matrices.
+	p1 := g.ShortestPaths(MetricCost)
+	p2 := got.ShortestPaths(MetricCost)
+	for a := 0; a < g.NumNodes(); a++ {
+		for b := 0; b < g.NumNodes(); b++ {
+			d1, d2 := p1.Dist(NodeID(a), NodeID(b)), p2.Dist(NodeID(a), NodeID(b))
+			if diff := d1 - d2; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("dist(%d,%d) %g != %g after round trip", a, b, d1, d2)
+			}
+		}
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":    "0 1 2.0\n",
+		"bad node":      "x 1 2.0 0.1\n",
+		"bad cost":      "0 1 nope 0.1\n",
+		"bad delay":     "0 1 2.0 nope\n",
+		"negative node": "-1 1 2.0 0.1\n",
+		"empty":         "# just a comment\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestParseEdgeListHeaderSizesGraph(t *testing.T) {
+	in := "# nodes 5 links 1\n0 1 2.0 0.1\n"
+	g, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("header ignored: %d nodes, want 5", g.NumNodes())
+	}
+	if g.NumLinks() != 1 {
+		t.Fatalf("%d links, want 1", g.NumLinks())
+	}
+}

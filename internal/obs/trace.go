@@ -1,0 +1,36 @@
+package obs
+
+import "time"
+
+// Span is one timed section of work, recorded with the monotonic clock.
+// Ending a span observes its duration into the histogram "<name>.seconds"
+// and bumps the counter "<name>.calls" on the registry it was started
+// from. The zero Span (returned while disabled, or from a nil registry)
+// is inert.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a span. While instrumentation is disabled (or reg is
+// nil) it returns the zero Span and costs one atomic load — no clock
+// read, no allocation.
+func StartSpan(reg *Registry, name string) Span {
+	if reg == nil || !Enabled.Load() {
+		return Span{}
+	}
+	return Span{reg: reg, name: name, start: time.Now()}
+}
+
+// End closes the span, records it, and returns its duration (0 for the
+// zero Span).
+func (s Span) End() time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start) // monotonic: immune to wall-clock jumps
+	s.reg.Histogram(s.name+".seconds", nil).Observe(d.Seconds())
+	s.reg.Counter(s.name + ".calls").Inc()
+	return d
+}
