@@ -7,6 +7,7 @@ import (
 	"hnp/internal/ads"
 	"hnp/internal/baseline"
 	"hnp/internal/core"
+	costpkg "hnp/internal/cost"
 	"hnp/internal/exp"
 	"hnp/internal/hierarchy"
 	"hnp/internal/netgraph"
@@ -314,6 +315,56 @@ func BenchmarkAblationEstimates(b *testing.B) {
 		})
 	}
 }
+
+// solveProblem builds the fixed-seed K-way join Problem over an n-node
+// transit-stub network that BenchmarkSolveK4/K6 and the cmd/benchjson
+// trajectory harness share, so the JSON numbers track exactly what the
+// in-repo benchmarks measure.
+func solveProblem(b *testing.B, k, n int, seed int64) core.Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := netgraph.MustTransitStub(n, rng)
+	paths := g.ShortestPaths(netgraph.MetricCost)
+	cat := query.NewCatalog(0.01)
+	ids := make([]query.StreamID, k)
+	for i := range ids {
+		ids[i] = cat.Add("s", 1+rng.Float64()*50, netgraph.NodeID(rng.Intn(n)))
+	}
+	q, err := query.NewQuery(0, ids, netgraph.NodeID(rng.Intn(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := query.BuildRates(cat, q)
+	return core.Problem{
+		Inputs: core.BaseInputs(cat, q, rt),
+		Sites:  baseline.AllNodes(g),
+		Dist:   paths.Dist,
+		Rates:  rt,
+		Goal:   q.All(),
+		Sink:   q.Sink, Deliver: true,
+	}
+}
+
+func benchSolveK(b *testing.B, k int) {
+	prob := solveProblem(b, k, 32, 7)
+	plans := costpkg.ClusterSpace(k, len(prob.Sites))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plans*float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+}
+
+// BenchmarkSolveK4 measures the pooled flat-buffer DP kernel on a 4-way
+// join over all 32 sites — the benchmark-trajectory anchor for the
+// in-cluster search (BENCH_planner.json tracks it across perf PRs).
+func BenchmarkSolveK4(b *testing.B) { benchSolveK(b, 4) }
+
+// BenchmarkSolveK6 is the 6-way variant: 2^6 submask rows stress the DP
+// slabs and the submask enumeration far harder than K=4.
+func BenchmarkSolveK6(b *testing.B) { benchSolveK(b, 6) }
 
 // BenchmarkSolveDP measures the in-cluster joint DP itself across input
 // counts — the inner loop of everything.

@@ -1,0 +1,221 @@
+// Command benchjson runs the repo's fixed-seed planner hot-path
+// benchmarks and emits a machine-readable BENCH_planner.json, the
+// benchmark trajectory this and future perf PRs are tracked against.
+//
+// The workloads are seeded identically on every run (and identical to the
+// corresponding go-test benchmarks: BenchmarkSolveK4/K6, BenchmarkDeploy,
+// BenchmarkAPSP), so the measured code path is reproducible; only the
+// wall-clock figures move with the hardware. CI runs it with short
+// iterations and uploads the artifact:
+//
+//	go run ./cmd/benchjson -benchtime 10x -o BENCH_planner.json
+//
+// Compare two files with the trajectory in mind: ns_per_op and
+// plans_per_sec are hardware-relative, allocs_per_op and bytes_per_op are
+// not — an allocs/op regression is a real regression on any machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"hnp"
+	"hnp/internal/baseline"
+	"hnp/internal/core"
+	costpkg "hnp/internal/cost"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+)
+
+// benchResult is one benchmark's measurement in the JSON trajectory.
+type benchResult struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	AllocsOp   int64  `json:"allocs_per_op"`
+	BytesOp    int64  `json:"bytes_per_op"`
+	// PlansPerSec is the nominal search-space coverage rate: plans
+	// considered per wall-clock second (0 where the notion doesn't apply).
+	PlansPerSec float64 `json:"plans_per_sec,omitempty"`
+}
+
+type trajectory struct {
+	Schema     string        `json:"schema"`
+	Tool       string        `json:"tool"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Seed       int64         `json:"seed"`
+	Benchtime  string        `json:"benchtime"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+const seed = 7
+
+// solveProblem mirrors the fixture of BenchmarkSolveK4/K6 in bench_test.go.
+func solveProblem(k, n int) core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := netgraph.MustTransitStub(n, rng)
+	paths := g.ShortestPaths(netgraph.MetricCost)
+	cat := query.NewCatalog(0.01)
+	ids := make([]query.StreamID, k)
+	for i := range ids {
+		ids[i] = cat.Add("s", 1+rng.Float64()*50, netgraph.NodeID(rng.Intn(n)))
+	}
+	q, err := query.NewQuery(0, ids, netgraph.NodeID(rng.Intn(n)))
+	if err != nil {
+		panic(err)
+	}
+	rt := query.BuildRates(cat, q)
+	return core.Problem{
+		Inputs: core.BaseInputs(cat, q, rt),
+		Sites:  baseline.AllNodes(g),
+		Dist:   paths.Dist,
+		Rates:  rt,
+		Goal:   q.All(),
+		Sink:   q.Sink, Deliver: true,
+	}
+}
+
+// measure runs fn under testing.Benchmark and records it. plansPerOp, when
+// non-zero, is the nominal search-space size one op covers.
+func measure(out *[]benchResult, name string, plansPerOp float64, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	br := benchResult{
+		Name:       name,
+		Iterations: r.N,
+		NsPerOp:    r.NsPerOp(),
+		AllocsOp:   r.AllocsPerOp(),
+		BytesOp:    r.AllocedBytesPerOp(),
+	}
+	if plansPerOp > 0 && r.T > 0 {
+		br.PlansPerSec = plansPerOp * float64(r.N) / r.T.Seconds()
+	}
+	*out = append(*out, br)
+	fmt.Fprintf(os.Stderr, "%-12s %12d ns/op %8d allocs/op %10d B/op\n",
+		name, br.NsPerOp, br.AllocsOp, br.BytesOp)
+}
+
+func main() {
+	var (
+		benchtime = flag.String("benchtime", "1s", "per-benchmark budget (testing syntax: 1s, 100x, ...)")
+		outPath   = flag.String("o", "BENCH_planner.json", "output file ('-' for stdout)")
+	)
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -benchtime: %v\n", err)
+		os.Exit(1)
+	}
+
+	traj := trajectory{
+		Schema:    "hnp-bench/v1",
+		Tool:      "cmd/benchjson",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seed:      seed,
+		Benchtime: *benchtime,
+	}
+
+	// SolveK4/K6: the in-cluster DP kernel over all 32 sites.
+	for _, k := range []int{4, 6} {
+		prob := solveProblem(k, 32)
+		plans := costpkg.ClusterSpace(k, len(prob.Sites))
+		measure(&traj.Benchmarks, fmt.Sprintf("SolveK%d", k), plans, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// SolveCostK6: the zero-alloc scoring entry point on the same problem.
+	{
+		prob := solveProblem(6, 32)
+		plans := costpkg.ClusterSpace(6, len(prob.Sites))
+		measure(&traj.Benchmarks, "SolveCostK6", plans, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveCost(prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Paths: the all-pairs snapshot every optimizer plans against.
+	{
+		rng := rand.New(rand.NewSource(seed))
+		g := netgraph.MustTransitStub(128, rng)
+		measure(&traj.Benchmarks, "Paths128", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.ShortestPaths(netgraph.MetricCost)
+			}
+		})
+	}
+
+	// Deploy: the full System planning path (Top-Down, 128 nodes,
+	// max_cs=32 — the paper's standard setting), telemetry off. Plans per
+	// second uses the measured per-query search-space accounting.
+	{
+		g := hnp.TransitStubNetwork(128, 1)
+		sys, err := hnp.NewSystem(g, 32, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rng := rand.New(rand.NewSource(2))
+		ids := make([]hnp.StreamID, 6)
+		for i := range ids {
+			ids[i] = sys.AddStream("s", 1+rng.Float64()*50, hnp.NodeID(rng.Intn(128)))
+		}
+		for i := range ids {
+			for j := i + 1; j < len(ids); j++ {
+				sys.SetSelectivity(ids[i], ids[j], 0.005+0.01*rng.Float64())
+			}
+		}
+		var plansPerOp float64
+		measure(&traj.Benchmarks, "Deploy", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			plans := 0.0
+			for i := 0; i < b.N; i++ {
+				k := 3 + i%3
+				d, err := sys.Plan(ids[:k], hnp.NodeID(i%128), hnp.AlgoTopDown)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plans += d.PlansConsidered
+			}
+			plansPerOp = plans / float64(b.N)
+		})
+		last := &traj.Benchmarks[len(traj.Benchmarks)-1]
+		if last.NsPerOp > 0 {
+			last.PlansPerSec = plansPerOp / (float64(last.NsPerOp) / 1e9)
+		}
+	}
+
+	buf, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+}

@@ -43,6 +43,9 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 	clusters := 0
 	levels := 0
 	var traceRoot, traceTip *PlanStep
+	// coverSet is reused across the level sweep: each level fully consumes
+	// it before the next iteration refills it.
+	var coverSet nodeBitset
 
 	for l := 1; l <= h.Height(); l++ {
 		start := time.Now()
@@ -50,12 +53,12 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 		if c == nil {
 			return Result{}, fmt.Errorf("bottom-up: sink %d has no cluster at level %d", q.Sink, l)
 		}
-		coverSet := nodeSet(h.Cover(c))
+		coverSet.fill(h.Cover(c), h.Graph().NumNodes())
 		top := l == h.Height()
 
 		var avail []query.Input
 		for _, in := range pending {
-			if coverSet[in.Loc] {
+			if coverSet.has(in.Loc) {
 				avail = append(avail, in)
 			}
 		}
@@ -64,7 +67,7 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 		// A derived stream materialized locally makes even remote base
 		// positions locally available; extend the view with disjoint ads.
 		if reg != nil {
-			for _, in := range reg.InputsFor(q, rt, func(n netgraph.NodeID) bool { return coverSet[n] }) {
+			for _, in := range reg.InputsFor(q, rt, func(n netgraph.NodeID) bool { return coverSet.has(n) }) {
 				if in.Mask&goal == 0 {
 					leaves = append(leaves, in)
 					goal |= in.Mask
@@ -85,7 +88,7 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 		inputs := append([]query.Input(nil), leaves...)
 		reuseOffered := 0
 		if reg != nil {
-			for _, in := range reg.InputsFor(q, rt, func(n netgraph.NodeID) bool { return coverSet[n] }) {
+			for _, in := range reg.InputsFor(q, rt, func(n netgraph.NodeID) bool { return coverSet.has(n) }) {
 				if in.Mask&goal == in.Mask {
 					inputs = append(inputs, in)
 					reuseOffered++

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
@@ -43,6 +44,57 @@ type Problem struct {
 	Penalty func(v netgraph.NodeID, inRate float64) float64
 }
 
+const inf = math.MaxFloat64
+
+// solveScratch holds every buffer one DP run needs, pooled so repeated
+// per-cluster solves (Top-Down recursion, Bottom-Up level sweeps, the
+// figure experiments re-planning hundreds of deployments) stop allocating.
+// All DP state lives in flat contiguous slabs indexed by int(S)*m+v — one
+// cache-friendly block per table instead of a fresh []float64 per
+// sub-cluster mask.
+type solveScratch struct {
+	ins  []query.Input // usable inputs (masks ⊆ goal)
+	subs []query.Mask  // submask enumeration, reused run to run
+
+	// Materialized distances: the DP probes these flat tables instead of
+	// calling Problem.Dist per probe. sdist is the m×m site-to-site
+	// matrix; idist the len(ins)×m input-location-to-site matrix. Each
+	// needed pair is computed exactly once per solve, which also turns
+	// hierarchy-estimate DistFuncs from a per-probe rep walk into a
+	// one-time materialization.
+	sdist []float64
+	idist []float64
+
+	// DP tables, slab-indexed by int(S)*m+v.
+	avail   []float64    // cheapest way to have sub-join S at site v
+	availCh []int32      // >=0: input index; <0: -(u+2) op at site u
+	opCost  []float64    // op producing S placed at v
+	opSplit []query.Mask // left part of the best split (holds lowest bit)
+}
+
+var solvePool = sync.Pool{New: func() interface{} { return new(solveScratch) }}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growMasks(s []query.Mask, n int) []query.Mask {
+	if cap(s) < n {
+		return make([]query.Mask, n)
+	}
+	return s[:n]
+}
+
 // Solve finds the minimum-cost plan for p using dynamic programming over
 // source subsets: avail[S][v] is the cheapest way to have the sub-join S
 // materialized at site v, either shipped from an input or produced by an
@@ -50,19 +102,42 @@ type Problem struct {
 // exhaustive tree×placement enumeration would (validated against the
 // naive enumerator in tests) at a fraction of the time.
 func Solve(p Problem) (*query.PlanNode, float64, error) {
+	sc := solvePool.Get().(*solveScratch)
+	plan, cost, err := sc.solve(p, true)
+	solvePool.Put(sc)
+	return plan, cost, err
+}
+
+// SolveCost runs the same DP as Solve but skips plan reconstruction,
+// returning only the optimal cost. In steady state it performs zero heap
+// allocations (pinned by TestSolveCostAllocFree), which makes it the right
+// entry point for search loops that score many candidate problems and
+// materialize a plan only for the winner.
+func SolveCost(p Problem) (float64, error) {
+	sc := solvePool.Get().(*solveScratch)
+	_, cost, err := sc.solve(p, false)
+	solvePool.Put(sc)
+	return cost, err
+}
+
+// solve runs the DP inside sc's buffers. The returned plan (when buildPlan
+// is set) is freshly allocated and shares nothing with sc, so the caller
+// can return sc to the pool immediately.
+func (sc *solveScratch) solve(p Problem, buildPlan bool) (*query.PlanNode, float64, error) {
 	if p.Goal == 0 {
 		return nil, 0, fmt.Errorf("core: empty goal")
 	}
 	// Collect usable inputs.
-	var ins []query.Input
+	ins := sc.ins[:0]
 	for _, in := range p.Inputs {
 		if in.Mask != 0 && in.Mask&p.Goal == in.Mask {
 			ins = append(ins, in)
 		}
 	}
+	sc.ins = ins
 	covered := query.Mask(0)
-	for _, in := range ins {
-		covered |= in.Mask
+	for i := range ins {
+		covered |= ins[i].Mask
 	}
 	if covered != p.Goal {
 		return nil, 0, fmt.Errorf("core: goal %b not coverable (inputs cover %b)", p.Goal, covered)
@@ -75,40 +150,59 @@ func Solve(p Problem) (*query.PlanNode, float64, error) {
 	}
 
 	size := 1 << uint(bits.Len32(uint32(p.Goal)))
-	const inf = math.MaxFloat64
-	avail := make([][]float64, size)  // avail[S][v]
-	availCh := make([][]int32, size)  // >=0: input index; <0: -(u+2) op at site u
-	opCost := make([][]float64, size) // op placed at v
-	opSplit := make([][]query.Mask, size)
+	slab := size * m
+	sc.avail = growFloats(sc.avail, slab)
+	sc.availCh = growInt32(sc.availCh, slab)
+	sc.opCost = growFloats(sc.opCost, slab)
+	sc.opSplit = growMasks(sc.opSplit, slab)
+	// Only rows of actual submasks of Goal are written and read, so the
+	// slabs need no clearing between runs.
 
-	newF := func() []float64 {
-		f := make([]float64, m)
-		for i := range f {
-			f[i] = inf
+	// Materialize every distance the DP will probe, once.
+	sc.sdist = growFloats(sc.sdist, m*m)
+	for u := 0; u < m; u++ {
+		row := sc.sdist[u*m : u*m+m]
+		su := sites[u]
+		for v := range row {
+			row[v] = p.Dist(su, sites[v])
 		}
-		return f
+	}
+	sc.idist = growFloats(sc.idist, len(ins)*m)
+	for i := range ins {
+		row := sc.idist[i*m : i*m+m]
+		loc := ins[i].Loc
+		for v := range row {
+			row[v] = p.Dist(loc, sites[v])
+		}
 	}
 
 	// Enumerate submasks of Goal in increasing popcount order.
-	subs := submasksByPopcount(p.Goal)
+	subs := appendSubmasksByPopcount(sc.subs[:0], p.Goal)
+	sc.subs = subs
+	avail, availCh := sc.avail, sc.availCh
 	for _, s := range subs {
-		av, ch := newF(), make([]int32, m)
-		for i := range ch {
-			ch[i] = math.MinInt32
+		base := int(s) * m
+		av := avail[base : base+m]
+		ch := availCh[base : base+m]
+		for v := range av {
+			av[v], ch[v] = inf, math.MinInt32
 		}
 		// Direct inputs.
-		for i, in := range ins {
-			if in.Mask != s {
+		for i := range ins {
+			if ins[i].Mask != s {
 				continue
 			}
-			for v, sv := range sites {
-				if c := in.Rate * p.Dist(in.Loc, sv); c < av[v] {
+			rate := ins[i].Rate
+			irow := sc.idist[i*m : i*m+m]
+			for v := range av {
+				if c := rate * irow[v]; c < av[v] {
 					av[v], ch[v] = c, int32(i)
 				}
 			}
 		}
 		if s.Count() >= 2 {
-			oc, os := newF(), make([]query.Mask, m)
+			oc := sc.opCost[base : base+m]
+			os := sc.opSplit[base : base+m]
 			low := s & -s
 			for v := 0; v < m; v++ {
 				best, bestSplit := inf, query.Mask(0)
@@ -117,7 +211,7 @@ func Solve(p Problem) (*query.PlanNode, float64, error) {
 						continue // canonical: left part holds the lowest bit
 					}
 					m2 := s ^ m1
-					a1, a2 := avail[m1][v], avail[m2][v]
+					a1, a2 := avail[int(m1)*m+v], avail[int(m2)*m+v]
 					if a1 == inf || a2 == inf {
 						continue
 					}
@@ -131,45 +225,47 @@ func Solve(p Problem) (*query.PlanNode, float64, error) {
 				}
 				oc[v], os[v] = best, bestSplit
 			}
-			opCost[s], opSplit[s] = oc, os
 			// Fold "operator at u, result shipped to v" into avail.
 			rate := p.Rates.Rate(s)
 			for u := 0; u < m; u++ {
-				if oc[u] == inf {
+				ocu := oc[u]
+				if ocu == inf {
 					continue
 				}
-				for v := 0; v < m; v++ {
-					if c := oc[u] + rate*p.Dist(sites[u], sites[v]); c < av[v] {
+				srow := sc.sdist[u*m : u*m+m]
+				for v := range av {
+					if c := ocu + rate*srow[v]; c < av[v] {
 						av[v], ch[v] = c, int32(-(u + 2))
 					}
 				}
 			}
 		}
-		avail[s], availCh[s] = av, ch
 	}
 
 	// Choose the root realization.
 	rate := p.Rates.Rate(p.Goal)
 	best := inf
 	bestInput, bestSite := -1, -1
-	for i, in := range ins {
-		if in.Mask != p.Goal {
+	for i := range ins {
+		if ins[i].Mask != p.Goal {
 			continue
 		}
 		c := 0.0
 		if p.Deliver {
-			c = in.Rate * p.Dist(in.Loc, p.Sink)
+			c = ins[i].Rate * p.Dist(ins[i].Loc, p.Sink)
 		}
 		if c < best {
 			best, bestInput, bestSite = c, i, -1
 		}
 	}
-	if oc := opCost[p.Goal]; oc != nil {
+	if p.Goal.Count() >= 2 {
+		gbase := int(p.Goal) * m
 		for u := 0; u < m; u++ {
-			if oc[u] == inf {
+			ocu := sc.opCost[gbase+u]
+			if ocu == inf {
 				continue
 			}
-			c := oc[u]
+			c := ocu
 			if p.Deliver {
 				c += rate * p.Dist(sites[u], p.Sink)
 			}
@@ -181,8 +277,11 @@ func Solve(p Problem) (*query.PlanNode, float64, error) {
 	if best == inf {
 		return nil, 0, fmt.Errorf("core: goal %b unachievable from available inputs", p.Goal)
 	}
+	if !buildPlan {
+		return nil, best, nil
+	}
 
-	r := rebuilder{p: p, ins: ins, sites: sites, avail: avail, availCh: availCh, opSplit: opSplit}
+	r := rebuilder{rates: p.Rates, ins: ins, sites: sites, m: m, availCh: sc.availCh, opSplit: sc.opSplit}
 	var root *query.PlanNode
 	if bestInput >= 0 {
 		root = query.Leaf(ins[bestInput])
@@ -192,36 +291,84 @@ func Solve(p Problem) (*query.PlanNode, float64, error) {
 	return root, best, nil
 }
 
+// rebuilder reconstructs the optimal plan from the flat DP tables. It must
+// finish before the scratch returns to the pool; the tree it builds copies
+// every input it references, so nothing aliases the scratch afterwards.
 type rebuilder struct {
-	p       Problem
+	rates   query.RateTable
 	ins     []query.Input
 	sites   []netgraph.NodeID
-	avail   [][]float64
-	availCh [][]int32
-	opSplit [][]query.Mask
+	m       int
+	availCh []int32
+	opSplit []query.Mask
 }
 
 // buildOp reconstructs the operator producing sub-join s placed at site
 // index u.
 func (r *rebuilder) buildOp(s query.Mask, u int) *query.PlanNode {
-	m1 := r.opSplit[s][u]
+	m1 := r.opSplit[int(s)*r.m+u]
 	m2 := s ^ m1
 	l := r.buildAvail(m1, u)
 	rt := r.buildAvail(m2, u)
-	return query.Join(l, rt, r.sites[u], r.p.Rates.Rate(s))
+	return query.Join(l, rt, r.sites[u], r.rates.Rate(s))
 }
 
 // buildAvail reconstructs the realization of sub-join s whose output feeds
 // a consumer at site index v.
 func (r *rebuilder) buildAvail(s query.Mask, v int) *query.PlanNode {
-	ch := r.availCh[s][v]
+	ch := r.availCh[int(s)*r.m+v]
 	if ch >= 0 {
 		return query.Leaf(r.ins[ch])
 	}
 	return r.buildOp(s, int(-(ch + 2)))
 }
 
+var dedupePool = sync.Pool{New: func() interface{} { return new(nodeBitset) }}
+
+// dedupeSites drops duplicate site IDs, preserving first-occurrence order.
+// Site lists are almost always already unique (cluster members never
+// repeat), so duplicates are detected with a pooled bitset and the input
+// slice is returned as-is — no map, no copy, no allocation — unless a
+// duplicate actually appears. Callers treat the result as read-only.
 func dedupeSites(sites []netgraph.NodeID) []netgraph.NodeID {
+	maxID := netgraph.NodeID(-1)
+	for _, s := range sites {
+		if s < 0 || s >= 1<<22 {
+			return dedupeSitesMap(sites) // exotic IDs: fall back to the map
+		}
+		if s > maxID {
+			maxID = s
+		}
+	}
+	if len(sites) == 0 {
+		return sites
+	}
+	bs := dedupePool.Get().(*nodeBitset)
+	bs.reset(int(maxID) + 1)
+	out := sites
+	unique := true
+	for i, s := range sites {
+		if bs.has(s) {
+			if unique {
+				// First duplicate: copy the unique prefix, compact from here.
+				out = make([]netgraph.NodeID, i, len(sites))
+				copy(out, sites[:i])
+				unique = false
+			}
+			continue
+		}
+		bs.add(s)
+		if !unique {
+			out = append(out, s)
+		}
+	}
+	dedupePool.Put(bs)
+	return out
+}
+
+// dedupeSitesMap is the defensive slow path for site IDs a bitset cannot
+// index (negative or absurdly large — nothing in the repo produces them).
+func dedupeSitesMap(sites []netgraph.NodeID) []netgraph.NodeID {
 	seen := map[netgraph.NodeID]bool{}
 	out := make([]netgraph.NodeID, 0, len(sites))
 	for _, s := range sites {
@@ -236,7 +383,12 @@ func dedupeSites(sites []netgraph.NodeID) []netgraph.NodeID {
 // submasksByPopcount lists all non-empty submasks of goal, smallest
 // cardinality first, so DP dependencies are always ready.
 func submasksByPopcount(goal query.Mask) []query.Mask {
-	var subs []query.Mask
+	return appendSubmasksByPopcount(nil, goal)
+}
+
+// appendSubmasksByPopcount is submasksByPopcount into a caller-provided
+// buffer, so the pooled solver enumerates without allocating.
+func appendSubmasksByPopcount(subs []query.Mask, goal query.Mask) []query.Mask {
 	for s := goal; s > 0; s = (s - 1) & goal {
 		subs = append(subs, s)
 	}

@@ -95,14 +95,6 @@ func substituteLeaves(root *query.PlanNode, subs map[query.Mask]*query.PlanNode)
 	return root
 }
 
-func nodeSet(nodes []netgraph.NodeID) map[netgraph.NodeID]bool {
-	s := make(map[netgraph.NodeID]bool, len(nodes))
-	for _, n := range nodes {
-		s[n] = true
-	}
-	return s
-}
-
 func unionMask(inputs []query.Input) query.Mask {
 	var m query.Mask
 	for _, in := range inputs {

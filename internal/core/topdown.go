@@ -69,6 +69,10 @@ type tdPlanner struct {
 	obs      plannerObs
 	plans    float64
 	clusters int
+	// cover is the current view's cluster cover as a bitset, reused across
+	// every planView call of the query (each view fully consumes it before
+	// recursing into child views).
+	cover nodeBitset
 }
 
 // planView plans one view (a sub-query given by its leaves) within cluster
@@ -86,10 +90,11 @@ func (td *tdPlanner) planView(c *hierarchy.Cluster, leaves []query.Input, out ne
 		return query.Leaf(leaves[0]), step, nil
 	}
 
-	coverSet := nodeSet(td.h.Cover(c))
+	td.cover.fill(td.h.Cover(c), td.h.Graph().NumNodes())
+	coverSet := &td.cover
 	inputs := append([]query.Input(nil), leaves...)
 	if td.reg != nil {
-		for _, in := range td.reg.InputsFor(td.q, td.rt, func(n netgraph.NodeID) bool { return coverSet[n] }) {
+		for _, in := range td.reg.InputsFor(td.q, td.rt, func(n netgraph.NodeID) bool { return coverSet.has(n) }) {
 			if in.Mask&goal == in.Mask {
 				inputs = append(inputs, in)
 				step.ReuseOffered++
@@ -103,7 +108,7 @@ func (td *tdPlanner) planView(c *hierarchy.Cluster, leaves []query.Input, out ne
 	level := c.Level
 	paths := td.h.Paths()
 	rep := func(n netgraph.NodeID) netgraph.NodeID {
-		if coverSet[n] {
+		if coverSet.has(n) {
 			return td.h.Rep(n, level)
 		}
 		return n

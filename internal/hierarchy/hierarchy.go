@@ -70,6 +70,14 @@ type Hierarchy struct {
 	maxCS int
 	lvls  []*Level
 
+	// rep is the dense representative table: rep[l-1][v] is the level-l
+	// representative of physical node v (v's coordinator chain walked up
+	// front), or -1 if v is not part of the hierarchy. It turns Rep — the
+	// innermost probe of every per-level cost estimate — into a single
+	// array index instead of one map lookup per level. Built by Build and
+	// rebuilt after every mutation (Rebind, AddNode, RemoveNode).
+	rep [][]netgraph.NodeID
+
 	coverMu sync.Mutex
 	cover   map[*Cluster][]netgraph.NodeID
 
@@ -142,7 +150,49 @@ func Build(g *netgraph.Graph, paths *netgraph.Paths, maxCS int, rng *rand.Rand) 
 		nodes = coords
 		levelIdx++
 	}
+	h.rebuildRep()
 	return h, nil
+}
+
+// rebuildRep (re)materializes the dense representative table from the
+// level structure. Cost is O(height × nodes); mutations are rare next to
+// the millions of Rep probes the planners make between them.
+func (h *Hierarchy) rebuildRep() {
+	n := h.g.NumNodes()
+	height := len(h.lvls)
+	if cap(h.rep) < height {
+		h.rep = make([][]netgraph.NodeID, height)
+	}
+	h.rep = h.rep[:height]
+	for l := range h.rep {
+		if cap(h.rep[l]) < n {
+			h.rep[l] = make([]netgraph.NodeID, n)
+		}
+		h.rep[l] = h.rep[l][:n]
+	}
+	for v := 0; v < n; v++ {
+		r := netgraph.NodeID(v)
+		if h.lvls[0].byNode[r] == nil {
+			// Not part of the hierarchy (e.g. removed): poison every level
+			// so Rep keeps panicking exactly where the chain walk did.
+			for l := 0; l < height; l++ {
+				h.rep[l][v] = -1
+			}
+			continue
+		}
+		h.rep[0][v] = r
+		for l := 1; l < height; l++ {
+			c := h.lvls[l-1].byNode[r]
+			if c == nil {
+				for ; l < height; l++ {
+					h.rep[l][v] = -1
+				}
+				break
+			}
+			r = c.Coordinator
+			h.rep[l][v] = r
+		}
+	}
 }
 
 // MustBuild is Build but panics on error; convenient in experiments where
@@ -197,14 +247,21 @@ func (h *Hierarchy) Contains(v netgraph.NodeID) bool {
 
 // Rep returns the node that represents physical node v at the given level:
 // v itself at level 1, otherwise the coordinator chain up the hierarchy.
+// The chain is precomputed into the dense rep table, so the answer is a
+// single array index (the equivalence with the explicit walk, including
+// after maintenance operations, is pinned by TestRepTableMatchesChainWalk).
 func (h *Hierarchy) Rep(v netgraph.NodeID, level int) netgraph.NodeID {
-	r := v
-	for i := 1; i < level; i++ {
-		c := h.lvls[i-1].byNode[r]
-		if c == nil {
-			panic(fmt.Sprintf("hierarchy: node %d not present at level %d", r, i))
-		}
-		r = c.Coordinator
+	if level == 1 {
+		// The chain walk is empty at level 1: v is returned as-is even if
+		// it is no longer part of the hierarchy.
+		return v
+	}
+	if level < 1 || level > len(h.lvls) {
+		panic(fmt.Sprintf("hierarchy: level %d out of range [1,%d]", level, len(h.lvls)))
+	}
+	r := h.rep[level-1][v]
+	if r < 0 {
+		panic(fmt.Sprintf("hierarchy: node %d not present at level %d", v, level))
 	}
 	return r
 }

@@ -29,6 +29,7 @@ func (h *Hierarchy) Rebind(paths *netgraph.Paths) error {
 			c.Diameter = paths.MaxPairwise(c.Members)
 		}
 	}
+	h.rebuildRep()
 	return nil
 }
 
@@ -66,6 +67,7 @@ func (h *Hierarchy) AddNode(v netgraph.NodeID) error {
 	}
 	h.insert(c, v)
 	h.invalidate()
+	h.rebuildRep()
 	return nil
 }
 
@@ -171,6 +173,7 @@ func (h *Hierarchy) RemoveNode(v netgraph.NodeID) error {
 	}
 	h.removeFrom(c, v)
 	h.invalidate()
+	h.rebuildRep()
 	return nil
 }
 

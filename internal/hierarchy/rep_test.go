@@ -1,0 +1,119 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"hnp/internal/netgraph"
+)
+
+// repWalk is the pre-table reference implementation of Rep: walk the
+// coordinator chain up the hierarchy one byNode lookup per level. The
+// dense rep table must agree with it everywhere, always.
+func repWalk(h *Hierarchy, v netgraph.NodeID, level int) netgraph.NodeID {
+	r := v
+	for i := 1; i < level; i++ {
+		c := h.lvls[i-1].byNode[r]
+		if c == nil {
+			panic("rep_test: node absent mid-chain")
+		}
+		r = c.Coordinator
+	}
+	return r
+}
+
+// checkRepAgainstWalk asserts Rep and EstCost computed via the dense table
+// match the chain walk for every present node at every level.
+func checkRepAgainstWalk(t *testing.T, h *Hierarchy, tag string) {
+	t.Helper()
+	n := h.Graph().NumNodes()
+	for v := 0; v < n; v++ {
+		id := netgraph.NodeID(v)
+		if !h.Contains(id) {
+			continue
+		}
+		for l := 1; l <= h.Height(); l++ {
+			want := repWalk(h, id, l)
+			if got := h.Rep(id, l); got != want {
+				t.Fatalf("%s: Rep(%d, %d) = %d, walk gives %d", tag, v, l, got, want)
+			}
+		}
+	}
+	// EstCost spot check across a few random pairs at each level.
+	rng := rand.New(rand.NewSource(int64(n)))
+	for l := 1; l <= h.Height(); l++ {
+		for trial := 0; trial < 32; trial++ {
+			a := netgraph.NodeID(rng.Intn(n))
+			b := netgraph.NodeID(rng.Intn(n))
+			if !h.Contains(a) || !h.Contains(b) {
+				continue
+			}
+			want := h.Paths().Dist(repWalk(h, a, l), repWalk(h, b, l))
+			if got := h.EstCost(a, b, l); got != want {
+				t.Fatalf("%s: EstCost(%d, %d, %d) = %g, walk gives %g", tag, a, b, l, got, want)
+			}
+		}
+	}
+}
+
+// TestRepTableMatchesChainWalk pins the dense rep table to the explicit
+// coordinator-chain walk across random hierarchies, including after every
+// maintenance operation (Rebind, AddNode, RemoveNode) that rebuilds it.
+func TestRepTableMatchesChainWalk(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 24 + rng.Intn(40)
+		g := netgraph.Random(n, 2.5, netgraph.CostRange{Lo: 1, Hi: 10}, netgraph.CostRange{Lo: 0.001, Hi: 0.05}, rng)
+		paths := g.ShortestPaths(netgraph.MetricCost)
+		maxCS := 3 + rng.Intn(6)
+		h, err := Build(g, paths, maxCS, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRepAgainstWalk(t, h, "fresh build")
+
+		// RemoveNode: drop a few members, some of them coordinators
+		// (removing a level-1 coordinator exercises promotion substitution).
+		var removed []netgraph.NodeID
+		for i := 0; i < 3; i++ {
+			var victim netgraph.NodeID = -1
+			if i == 0 {
+				victim = h.LevelAt(1).Clusters[0].Coordinator
+			} else {
+				for {
+					cand := netgraph.NodeID(rng.Intn(n))
+					if h.Contains(cand) {
+						victim = cand
+						break
+					}
+				}
+			}
+			if err := h.RemoveNode(victim); err != nil {
+				t.Fatal(err)
+			}
+			removed = append(removed, victim)
+			checkRepAgainstWalk(t, h, "after RemoveNode")
+		}
+
+		// Rebind: mutate a link cost and swap in a fresh snapshot.
+		links := g.Links()
+		l := links[rng.Intn(len(links))]
+		if err := g.SetLinkCost(l.A, l.B, l.Cost+1); err != nil {
+			t.Fatal(err)
+		}
+		paths = g.ShortestPaths(netgraph.MetricCost)
+		if err := h.Rebind(paths); err != nil {
+			t.Fatal(err)
+		}
+		checkRepAgainstWalk(t, h, "after Rebind")
+
+		// AddNode: re-join the removed nodes (splits can cascade and grow
+		// new levels).
+		for _, v := range removed {
+			if err := h.AddNode(v); err != nil {
+				t.Fatal(err)
+			}
+			checkRepAgainstWalk(t, h, "after AddNode")
+		}
+	}
+}

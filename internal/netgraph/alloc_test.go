@@ -1,0 +1,46 @@
+package netgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPathsDistAllocFree pins the all-pairs snapshot probe — the single
+// hottest call in every planner — at zero heap allocations. The distance
+// tables live in one contiguous slab, so a probe is pure index arithmetic.
+func TestPathsDistAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := MustTransitStub(64, rng)
+	p := g.ShortestPaths(MetricCost)
+	sink := 0.0
+	allocs := testing.AllocsPerRun(200, func() {
+		for a := NodeID(0); a < 64; a++ {
+			sink += p.Dist(a, 63-a)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Paths.Dist allocates %v objects per run, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Error("distance sum unexpectedly zero")
+	}
+}
+
+// TestPathsSlabRowsAlias asserts the row headers view the same memory as
+// the slab, so row-based accessors (Path, Eccentricity) and the flat Dist
+// probe can never disagree.
+func TestPathsSlabRowsAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := MustTransitStub(32, rng)
+	p := g.ShortestPaths(MetricCost)
+	for a := 0; a < p.n; a++ {
+		for b := 0; b < p.n; b++ {
+			if p.dist[a][b] != p.Dist(NodeID(a), NodeID(b)) {
+				t.Fatalf("dist row/slab mismatch at (%d,%d)", a, b)
+			}
+			if p.next[a][b] != p.nextSlab[a*p.n+b] {
+				t.Fatalf("next row/slab mismatch at (%d,%d)", a, b)
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package netgraph
 
 import (
-	"container/heap"
 	"math"
 	"runtime"
 	"sync"
@@ -32,12 +31,31 @@ func (m Metric) String() string {
 
 // Paths is an immutable all-pairs shortest path snapshot of a graph under
 // one metric. It remembers the graph version it was computed against.
+//
+// Both tables live in single contiguous n×n slabs (distSlab/nextSlab);
+// the dist/next row headers slice into them. One slab keeps the whole
+// snapshot in as few cache lines as possible and lets Dist compute its
+// answer with plain index arithmetic instead of chasing a row pointer.
 type Paths struct {
-	metric  Metric
-	version int
-	n       int
-	dist    [][]float64
-	next    [][]int32 // next[a][b]: first hop from a toward b, -1 if unreachable
+	metric   Metric
+	version  int
+	n        int
+	dist     [][]float64
+	next     [][]int32 // next[a][b]: first hop from a toward b, -1 if unreachable
+	distSlab []float64
+	nextSlab []int32
+}
+
+// newPaths allocates a snapshot shell with its slabs and row headers.
+func newPaths(m Metric, version, n int) *Paths {
+	p := &Paths{metric: m, version: version, n: n,
+		dist: make([][]float64, n), next: make([][]int32, n),
+		distSlab: make([]float64, n*n), nextSlab: make([]int32, n*n)}
+	for v := 0; v < n; v++ {
+		p.dist[v] = p.distSlab[v*n : (v+1)*n : (v+1)*n]
+		p.next[v] = p.nextSlab[v*n : (v+1)*n : (v+1)*n]
+	}
+	return p
 }
 
 type pqItem struct {
@@ -45,16 +63,55 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a concrete binary min-heap over pqItem, ordered by dist. It
+// replicates container/heap's sift order exactly — same comparisons, same
+// swaps, ties keep the left child and pop the root via a swap with the
+// last element — so the node visit order (and therefore every dist and
+// first-hop table) is bit-identical to the previous interface-boxed
+// implementation. Being concrete, push/pop compile to direct calls with no
+// interface boxing and no per-item allocation.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
+func (q pq) Len() int { return len(q) }
+
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	// Sift up (container/heap "up").
+	h := *q
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *pq) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift down over h[:n] (container/heap "down").
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child, kept on ties
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*q = h[:n]
 	return it
 }
 
@@ -86,7 +143,7 @@ func (g *Graph) dijkstraInto(src NodeID, m Metric, dist []float64, firstHop []in
 	dist[src] = 0
 	*q = append((*q)[:0], pqItem{src, 0})
 	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+		it := q.pop()
 		if it.dist > dist[it.node] {
 			continue
 		}
@@ -99,7 +156,7 @@ func (g *Graph) dijkstraInto(src NodeID, m Metric, dist []float64, firstHop []in
 				} else {
 					firstHop[e.to] = firstHop[it.node]
 				}
-				heap.Push(q, pqItem{e.to, nd})
+				q.push(pqItem{e.to, nd})
 			}
 		}
 	}
@@ -115,8 +172,7 @@ func (g *Graph) dijkstraInto(src NodeID, m Metric, dist []float64, firstHop []in
 // of parallelism.
 func (g *Graph) ShortestPaths(m Metric) *Paths {
 	n := len(g.adj)
-	p := &Paths{metric: m, version: g.version, n: n,
-		dist: make([][]float64, n), next: make([][]int32, n)}
+	p := newPaths(m, g.version, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -137,10 +193,9 @@ func (g *Graph) ShortestPaths(m Metric) *Paths {
 				if v >= n {
 					return
 				}
-				dist := make([]float64, n)
-				hop := make([]int32, n)
-				g.dijkstraInto(NodeID(v), m, dist, hop, &q)
-				p.dist[v], p.next[v] = dist, hop
+				// Rows are disjoint slab regions; each worker writes
+				// only the rows it claimed.
+				g.dijkstraInto(NodeID(v), m, p.dist[v], p.next[v], &q)
 			}
 		}()
 	}
@@ -154,19 +209,14 @@ func (g *Graph) shortestPathsInto(p *Paths) {
 	n := len(g.adj)
 	var q pq
 	for v := 0; v < n; v++ {
-		dist := make([]float64, n)
-		hop := make([]int32, n)
-		g.dijkstraInto(NodeID(v), p.metric, dist, hop, &q)
-		p.dist[v], p.next[v] = dist, hop
+		g.dijkstraInto(NodeID(v), p.metric, p.dist[v], p.next[v], &q)
 	}
 }
 
 // shortestPathsSerial is the serial all-pairs computation, kept as the
 // reference the parallel ShortestPaths is tested and benchmarked against.
 func (g *Graph) shortestPathsSerial(m Metric) *Paths {
-	n := len(g.adj)
-	p := &Paths{metric: m, version: g.version, n: n,
-		dist: make([][]float64, n), next: make([][]int32, n)}
+	p := newPaths(m, g.version, len(g.adj))
 	g.shortestPathsInto(p)
 	return p
 }
@@ -187,7 +237,10 @@ func (p *Paths) StaleFor(g *Graph) bool {
 }
 
 // Dist returns the shortest-path distance from a to b (+Inf if unreachable).
-func (p *Paths) Dist(a, b NodeID) float64 { return p.dist[a][b] }
+// The lookup is a single index into the contiguous slab — no row pointer
+// chase, no allocation — because it is the innermost probe of every
+// planner.
+func (p *Paths) Dist(a, b NodeID) float64 { return p.distSlab[int(a)*p.n+int(b)] }
 
 // Reachable reports whether b is reachable from a.
 func (p *Paths) Reachable(a, b NodeID) bool { return !math.IsInf(p.dist[a][b], 1) }
