@@ -74,15 +74,8 @@ func main() {
 	fmt.Printf("final plan: %s\n", plans[dep.Query.ID])
 	sink := rt.Sink(dep.Query.ID)
 	fmt.Printf("delivered %d result tuples; mean latency %.0fms; measured cost rate %.1f\n",
-		sink.Tuples, 1000*sink.LatencySum/float64(max(1, sink.Tuples)), rt.CostRate())
+		sink.Tuples, 1000*sink.LatencySum/float64(max(int64(1), sink.Tuples)), rt.CostRate())
 	if stats.Migrations > 0 {
 		fmt.Println("the deployment adapted to the congestion without stopping the query")
 	}
-}
-
-func max(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

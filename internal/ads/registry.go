@@ -48,6 +48,7 @@ type Registry struct {
 	obsDuplicates *obs.Counter
 	obsLookups    *obs.Counter
 	obsOffered    *obs.Counter
+	obsPruned     *obs.Counter
 }
 
 // NewRegistry returns an empty registry.
@@ -63,6 +64,38 @@ func (r *Registry) BindObs(reg *obs.Registry) {
 	r.obsDuplicates = reg.Counter("ads.duplicates")
 	r.obsLookups = reg.Counter("ads.lookups")
 	r.obsOffered = reg.Counter("ads.reuse_offered")
+	r.obsPruned = reg.Counter("ads.pruned")
+}
+
+// Prune retracts every advertisement the keep predicate rejects and
+// returns how many were removed. It is the churn-side counterpart of
+// Advertise: when deployments are torn down or nodes fail, the streams
+// they materialized stop existing, and planners must stop being offered
+// them (a reused input that no longer runs anywhere fails at deployment).
+// Callers typically keep exactly the ads whose operator is still hosted by
+// the runtime.
+func (r *Registry) Prune(keep func(Ad) bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := 0
+	for sig, list := range r.bySig {
+		kept := list[:0]
+		for _, ad := range list {
+			if keep(ad) {
+				kept = append(kept, ad)
+			} else {
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.bySig, sig)
+		} else {
+			r.bySig[sig] = kept
+		}
+	}
+	r.count -= removed
+	r.obsPruned.Add(int64(removed))
+	return removed
 }
 
 // Advertise records an ad. A duplicate (same signature at the same node)

@@ -109,3 +109,49 @@ func TestAdvertisePlan(t *testing.T) {
 		t.Errorf("re-advertise added %d", added)
 	}
 }
+
+func TestPrune(t *testing.T) {
+	r := NewRegistry()
+	ads := []Ad{
+		{Sig: "0|1", Streams: []query.StreamID{0, 1}, Node: 3, Rate: 20},
+		{Sig: "0|1", Streams: []query.StreamID{0, 1}, Node: 4, Rate: 20},
+		{Sig: "1|2", Streams: []query.StreamID{1, 2}, Node: 3, Rate: 5},
+		{Sig: "0|1|2", Streams: []query.StreamID{0, 1, 2}, Node: 5, Rate: 2},
+	}
+	for _, ad := range ads {
+		if !r.Advertise(ad) {
+			t.Fatalf("advertise %+v rejected", ad)
+		}
+	}
+	// Retract everything hosted on node 3 (as after that node fails).
+	if got := r.Prune(func(ad Ad) bool { return ad.Node != 3 }); got != 2 {
+		t.Errorf("Prune removed %d, want 2", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d after prune, want 2", r.Len())
+	}
+	for _, ad := range r.All() {
+		if ad.Node == 3 {
+			t.Errorf("pruned ad survives: %+v", ad)
+		}
+	}
+	// The fully retracted signature's bucket is gone, not empty.
+	if got := r.Lookup("1|2"); got != nil {
+		t.Errorf("Lookup of fully pruned sig = %v", got)
+	}
+	// Re-advertising after a prune works (no tombstones).
+	if !r.Advertise(ads[2]) {
+		t.Error("re-advertise after prune rejected")
+	}
+	// Pruning nothing removes nothing.
+	if got := r.Prune(func(Ad) bool { return true }); got != 0 {
+		t.Errorf("no-op prune removed %d", got)
+	}
+	// Pruning everything empties the registry.
+	if got := r.Prune(func(Ad) bool { return false }); got != 3 {
+		t.Errorf("full prune removed %d, want 3", got)
+	}
+	if r.Len() != 0 || len(r.All()) != 0 {
+		t.Errorf("registry not empty after full prune: len=%d all=%v", r.Len(), r.All())
+	}
+}

@@ -1,0 +1,540 @@
+// Package chaos is a seed-deterministic fault and churn simulation
+// harness for the full optimizer/runtime stack. It composes randomized
+// adversarial schedules — node failures and recoveries, link-cost drift,
+// query arrival and teardown, stream-rate shifts — against a live system
+// (netgraph topology, clustering hierarchy, Top-Down/Bottom-Up planners,
+// advertisement registry, IFLOW runtime on the discrete-event clock) and
+// checks cross-cutting invariants after every event: hierarchy
+// well-formedness, plan/deployment consistency, advertisement liveness,
+// path-snapshot freshness, and transport conservation.
+//
+// Everything derives from one seed: the topology, the workload, the event
+// schedule, and every tuple the runtime moves. A failing run therefore
+// reproduces exactly from its seed, and the recorded event trace replays
+// the history that led to the violation. The paper's figures (5-11)
+// evaluate static snapshots; this harness is the correctness backstop for
+// the adaptation machinery those figures never touch (PAPER §6).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hnp/internal/ads"
+	"hnp/internal/core"
+	"hnp/internal/hierarchy"
+	"hnp/internal/iflow"
+	"hnp/internal/netgraph"
+	"hnp/internal/query"
+	"hnp/internal/workload"
+)
+
+// Config parameterizes one chaos run. Identical configs (seed included)
+// produce identical runs, event for event and tuple for tuple.
+type Config struct {
+	// Seed drives everything: topology, hierarchy, workload, schedule,
+	// and the runtime's tuple randomness.
+	Seed int64
+	// Nodes is the transit-stub network size.
+	Nodes int
+	// MaxCS is the hierarchy's cluster size cap.
+	MaxCS int
+	// Streams is the number of base streams in the catalog.
+	Streams int
+	// Queries is the size of the candidate query pool events draw from.
+	Queries int
+	// Events is the schedule length.
+	Events int
+	// MeanStep is the mean virtual seconds advanced before each event
+	// (exponentially distributed, so perturbations hit at ragged times).
+	MeanStep float64
+	// Runtime tunes the IFLOW engine's physical constants.
+	Runtime iflow.Config
+}
+
+// DefaultConfig returns the standard chaos shape: a 24-node network,
+// 8 streams, a pool of 10 queries, 200 events at ~0.4 virtual seconds
+// apart.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:     seed,
+		Nodes:    24,
+		MaxCS:    6,
+		Streams:  8,
+		Queries:  10,
+		Events:   200,
+		MeanStep: 0.4,
+		Runtime:  iflow.DefaultConfig(),
+	}
+}
+
+func (cfg Config) validate() error {
+	switch {
+	case cfg.Nodes < 8:
+		return fmt.Errorf("chaos: need at least 8 nodes, got %d", cfg.Nodes)
+	case cfg.MaxCS < 2:
+		return fmt.Errorf("chaos: maxCS must be >= 2, got %d", cfg.MaxCS)
+	case cfg.Streams < 6:
+		return fmt.Errorf("chaos: need at least 6 streams for the workload shape, got %d", cfg.Streams)
+	case cfg.Queries < 1:
+		return fmt.Errorf("chaos: empty query pool")
+	case cfg.Events < 1:
+		return fmt.Errorf("chaos: empty schedule")
+	case cfg.MeanStep <= 0:
+		return fmt.Errorf("chaos: non-positive mean step %g", cfg.MeanStep)
+	}
+	return nil
+}
+
+// horizon is the virtual lifetime of sources: comfortably past the
+// expected schedule span so streams stay live through the whole run.
+func (cfg Config) horizon() float64 {
+	return cfg.MeanStep*float64(cfg.Events)*2 + 30
+}
+
+// queryState tracks one pool query through the run.
+type queryState int
+
+const (
+	stateIdle queryState = iota
+	stateDeployed
+)
+
+// sinkBase is the delivery baseline monotonicity is checked against.
+type sinkBase struct {
+	tuples  int64
+	bytes   float64
+	latency float64
+}
+
+// World is one chaos run in progress: the full stack plus the harness's
+// own bookkeeping of what should be true.
+type World struct {
+	cfg     Config
+	rng     *rand.Rand // event schedule + parameter draws
+	g       *netgraph.Graph
+	paths   *netgraph.Paths
+	h       *hierarchy.Hierarchy
+	cat     *query.Catalog
+	reg     *ads.Registry
+	rt      *iflow.Runtime
+	pool    []*query.Query
+	qByID   map[int]*query.Query
+	plans   map[int]*query.PlanNode
+	state   map[int]queryState
+	live    []bool
+	nLive   int
+	minLive int
+	horizon float64
+
+	trace     []Event
+	counts    [8]int
+	prev      iflow.Stats
+	prevSinks map[int]sinkBase
+}
+
+// Report summarizes a finished (or violated) run.
+type Report struct {
+	Seed      int64
+	Events    int
+	Counts    map[string]int
+	Deployed  int
+	Delivered int64
+	Stats     iflow.Stats
+	Trace     []Event
+}
+
+// TraceString renders the full replayable event trace.
+func (r Report) TraceString() string {
+	lines := make([]string, len(r.Trace))
+	for i, e := range r.Trace {
+		lines[i] = e.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// New builds a world from the config: transit-stub topology, hierarchy,
+// workload (a third of the pool carries a selection predicate so
+// containment reuse is exercised under churn), advertisement registry and
+// IFLOW runtime, all seeded from cfg.Seed.
+func New(cfg Config) (*World, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	buildRng := rand.New(rand.NewSource(cfg.Seed))
+	g := netgraph.MustTransitStub(cfg.Nodes, buildRng)
+	paths := g.ShortestPaths(netgraph.MetricCost)
+	h, err := hierarchy.Build(g, paths, cfg.MaxCS, buildRng)
+	if err != nil {
+		return nil, err
+	}
+	wlRng := rand.New(rand.NewSource(cfg.Seed ^ 0x77f00d))
+	wl, err := workload.Generate(workload.Default(cfg.Streams, cfg.Queries), cfg.Nodes, wlRng)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed5)),
+		g:         g,
+		paths:     paths,
+		h:         h,
+		cat:       wl.Catalog,
+		reg:       ads.NewRegistry(),
+		rt:        iflow.New(g, cfg.Runtime, cfg.Seed^0x7f1e),
+		qByID:     map[int]*query.Query{},
+		plans:     map[int]*query.PlanNode{},
+		state:     map[int]queryState{},
+		live:      make([]bool, cfg.Nodes),
+		nLive:     cfg.Nodes,
+		minLive:   max(cfg.MaxCS, cfg.Nodes/2),
+		horizon:   cfg.horizon(),
+		prevSinks: map[int]sinkBase{},
+	}
+	for i := range w.live {
+		w.live[i] = true
+	}
+	// Canonical nested ranges: stricter queries arriving after weaker (or
+	// predicate-free) ones over the same streams reuse their operators
+	// through residual filters.
+	ranges := []query.Range{{Lo: 0, Hi: 0.9}, {Lo: 0.05, Hi: 0.65}, {Lo: 0.1, Hi: 0.5}}
+	for i, q := range wl.Queries {
+		if i%3 == 1 {
+			r := ranges[wlRng.Intn(len(ranges))]
+			pq, err := query.NewQueryPred(q.ID, q.Sources, q.Sink,
+				query.MustPredSet(query.Pred{Stream: q.Sources[0], Attr: "a", Range: r}))
+			if err != nil {
+				return nil, err
+			}
+			q = pq
+		}
+		w.pool = append(w.pool, q)
+		w.qByID[q.ID] = q
+		w.state[q.ID] = stateIdle
+	}
+	return w, nil
+}
+
+// Run executes the schedule, checking every invariant after every event,
+// then quiesces the simulation (sources end, in-flight tuples drain) and
+// performs a final audit including the zero-in-flight conservation check.
+// The returned report always carries the trace, violation or not.
+func (w *World) Run() (Report, error) {
+	for i := 0; i < w.cfg.Events; i++ {
+		e := w.nextEvent(i)
+		if err := w.apply(&e); err != nil {
+			w.trace = append(w.trace, e)
+			return w.report(), fmt.Errorf("chaos: seed %d, event %s: %w", w.cfg.Seed, e.String(), err)
+		}
+		w.trace = append(w.trace, e)
+		if err := w.check(); err != nil {
+			return w.report(), fmt.Errorf("chaos: seed %d, after event %s: %w", w.cfg.Seed, e.String(), err)
+		}
+	}
+	// Quiesce: run sources to the end of their lifetime, then drain every
+	// in-flight delivery.
+	if now := w.rt.Sim.Now(); now < w.horizon {
+		w.rt.RunFor(w.horizon - now)
+	}
+	w.rt.Sim.Run()
+	if err := w.check(); err != nil {
+		return w.report(), fmt.Errorf("chaos: seed %d, after quiesce: %w", w.cfg.Seed, err)
+	}
+	if inFlight := w.rt.InFlight(); inFlight != 0 {
+		return w.report(), fmt.Errorf("chaos: seed %d: %d tuples unaccounted for after quiesce (sent %d)",
+			w.cfg.Seed, inFlight, w.rt.TuplesSent)
+	}
+	return w.report(), nil
+}
+
+func (w *World) report() Report {
+	st := w.rt.Stats()
+	var delivered int64
+	deployed := 0
+	for _, q := range w.pool {
+		if s := w.rt.Sink(q.ID); s != nil {
+			delivered += s.Tuples
+		}
+		if w.state[q.ID] == stateDeployed {
+			deployed++
+		}
+	}
+	counts := map[string]int{}
+	for k, n := range w.counts {
+		if n > 0 {
+			counts[Kind(k).String()] = n
+		}
+	}
+	return Report{
+		Seed:      w.cfg.Seed,
+		Events:    len(w.trace),
+		Counts:    counts,
+		Deployed:  deployed,
+		Delivered: delivered,
+		Stats:     st,
+		Trace:     w.trace,
+	}
+}
+
+// nextEvent draws the next schedule entry. Kinds are weighted and gated on
+// current state (no failing below the live floor, no arrivals without an
+// eligible idle query); parameters are drawn by deterministic scans so the
+// schedule is a pure function of the seed.
+func (w *World) nextEvent(idx int) Event {
+	e := Event{Index: idx, Dt: w.rng.ExpFloat64() * w.cfg.MeanStep}
+	type choice struct {
+		kind   Kind
+		weight int
+	}
+	var choices []choice
+	arrivals := w.eligibleArrivals()
+	deployed := w.deployedIDs()
+	dead := w.deadNodes()
+	if len(arrivals) > 0 {
+		choices = append(choices, choice{KindQueryArrive, 4})
+	}
+	if len(deployed) > 0 {
+		choices = append(choices, choice{KindQueryUndeploy, 1})
+	}
+	if w.nLive > w.minLive {
+		choices = append(choices, choice{KindFailNode, 2})
+	}
+	if len(dead) > 0 {
+		choices = append(choices, choice{KindRecoverNode, 2})
+	}
+	choices = append(choices, choice{KindLinkCost, 3}, choice{KindRateShift, 2}, choice{KindIdle, 1})
+	total := 0
+	for _, c := range choices {
+		total += c.weight
+	}
+	pick := w.rng.Intn(total)
+	for _, c := range choices {
+		if pick < c.weight {
+			e.Kind = c.kind
+			break
+		}
+		pick -= c.weight
+	}
+	switch e.Kind {
+	case KindQueryArrive:
+		e.Query = arrivals[w.rng.Intn(len(arrivals))]
+	case KindQueryUndeploy:
+		e.Query = deployed[w.rng.Intn(len(deployed))]
+	case KindFailNode:
+		liveNodes := make([]netgraph.NodeID, 0, w.nLive)
+		for v, ok := range w.live {
+			if ok {
+				liveNodes = append(liveNodes, netgraph.NodeID(v))
+			}
+		}
+		e.Node = liveNodes[w.rng.Intn(len(liveNodes))]
+	case KindRecoverNode:
+		e.Node = dead[w.rng.Intn(len(dead))]
+	case KindLinkCost:
+		links := w.g.Links()
+		l := links[w.rng.Intn(len(links))]
+		factor := 0.5 + w.rng.Float64()*1.5
+		e.A, e.B = l.A, l.B
+		e.Value = clamp(l.Cost*factor, 0.05, 1e6)
+	case KindRateShift:
+		e.Stream = query.StreamID(w.rng.Intn(w.cat.NumStreams()))
+		factor := 0.5 + w.rng.Float64()*1.5
+		e.Value = clamp(w.cat.Stream(e.Stream).Rate*factor, 0.5, 200)
+	}
+	return e
+}
+
+// eligibleArrivals lists idle pool queries whose sources and sink are all
+// on live nodes, in pool order.
+func (w *World) eligibleArrivals() []int {
+	var out []int
+	for _, q := range w.pool {
+		if w.state[q.ID] != stateIdle || !w.live[q.Sink] {
+			continue
+		}
+		ok := true
+		for _, sid := range q.Sources {
+			if !w.live[w.cat.Stream(sid).Source] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, q.ID)
+		}
+	}
+	return out
+}
+
+func (w *World) deployedIDs() []int {
+	var out []int
+	for _, q := range w.pool {
+		if w.state[q.ID] == stateDeployed {
+			out = append(out, q.ID)
+		}
+	}
+	return out
+}
+
+func (w *World) deadNodes() []netgraph.NodeID {
+	var out []netgraph.NodeID
+	for v, ok := range w.live {
+		if !ok {
+			out = append(out, netgraph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// apply advances virtual time by the event's Dt, then performs the
+// perturbation. Errors are invariant violations: every event is chosen to
+// be legal, so the stack rejecting or mishandling it is a finding.
+func (w *World) apply(e *Event) error {
+	w.counts[e.Kind]++
+	w.rt.RunFor(e.Dt)
+	switch e.Kind {
+	case KindIdle:
+		return nil
+	case KindFailNode:
+		return w.applyFail(e)
+	case KindRecoverNode:
+		w.live[e.Node] = true
+		w.nLive++
+		if err := w.h.AddNode(e.Node); err != nil {
+			return fmt.Errorf("hierarchy rejected rejoin: %w", err)
+		}
+		return nil
+	case KindLinkCost:
+		if err := w.rt.UpdateLinkCost(e.A, e.B, e.Value); err != nil {
+			return fmt.Errorf("link update rejected: %w", err)
+		}
+		w.paths = w.g.ShortestPaths(netgraph.MetricCost)
+		if err := w.h.Rebind(w.paths); err != nil {
+			return fmt.Errorf("hierarchy rejected fresh paths: %w", err)
+		}
+		return nil
+	case KindQueryArrive:
+		return w.applyArrive(e)
+	case KindQueryUndeploy:
+		q := w.qByID[e.Query]
+		if err := w.rt.Undeploy(q.ID); err != nil {
+			return fmt.Errorf("undeploy rejected: %w", err)
+		}
+		w.state[q.ID] = stateIdle
+		delete(w.plans, q.ID)
+		delete(w.prevSinks, q.ID)
+		w.pruneAds()
+		return nil
+	case KindRateShift:
+		w.cat.SetRate(e.Stream, e.Value)
+		return nil
+	}
+	return fmt.Errorf("unknown event kind %d", e.Kind)
+}
+
+func (w *World) applyFail(e *Event) error {
+	affected := w.rt.FailNode(e.Node)
+	if err := w.h.RemoveNode(e.Node); err != nil {
+		return fmt.Errorf("hierarchy rejected removal: %w", err)
+	}
+	w.live[e.Node] = false
+	w.nLive--
+	w.pruneAds()
+	if len(affected) == 0 {
+		e.Note = "affected=none"
+		return nil
+	}
+	recovered, failed, err := w.rt.RecoverQueries(affected, w.qByID, w.plans, w.cat, w.replan, w.horizon)
+	if err != nil {
+		return fmt.Errorf("recovery aborted: %w", err)
+	}
+	for _, qid := range failed {
+		w.state[qid] = stateIdle
+		delete(w.plans, qid)
+		delete(w.prevSinks, qid)
+	}
+	for _, qid := range recovered {
+		w.reg.AdvertisePlan(w.qByID[qid], w.plans[qid])
+	}
+	w.pruneAds()
+	e.Note = fmt.Sprintf("affected=%s recovered=%s failed=%s",
+		intList(affected), intList(recovered), intList(failed))
+	return nil
+}
+
+func (w *World) applyArrive(e *Event) error {
+	q := w.qByID[e.Query]
+	res, algo, err := w.planQuery(q)
+	e.Algo = algo
+	if err != nil {
+		return fmt.Errorf("planner rejected eligible query %d: %w", q.ID, err)
+	}
+	if err := w.rt.Deploy(q, res.Plan, w.cat, w.horizon); err != nil {
+		return fmt.Errorf("runtime rejected plan %s: %w", res.Plan, err)
+	}
+	w.reg.AdvertisePlan(q, res.Plan)
+	w.plans[q.ID] = res.Plan
+	w.state[q.ID] = stateDeployed
+	w.prevSinks[q.ID] = sinkBase{} // Deploy resets delivery statistics
+	return nil
+}
+
+// planQuery runs one of the paper's hierarchy planners, chosen by the
+// schedule rng, against current conditions and advertisements.
+func (w *World) planQuery(q *query.Query) (core.Result, string, error) {
+	if w.rng.Intn(2) == 0 {
+		res, err := core.TopDown(w.h, w.cat, q, w.reg)
+		return res, "top-down", err
+	}
+	res, err := core.BottomUp(w.h, w.cat, q, w.reg)
+	return res, "bottom-up", err
+}
+
+// replan is the middleware's re-planning hook for RecoverQueries: it
+// retracts advertisements orphaned by the teardown that precedes each
+// re-plan, refuses queries whose sources or sink are dead, and otherwise
+// plans against the surviving network.
+func (w *World) replan(q *query.Query) (*query.PlanNode, error) {
+	w.pruneAds()
+	if !w.live[q.Sink] {
+		return nil, fmt.Errorf("sink node %d is down", q.Sink)
+	}
+	for _, sid := range q.Sources {
+		if src := w.cat.Stream(sid).Source; !w.live[src] {
+			return nil, fmt.Errorf("source node %d of stream %d is down", src, sid)
+		}
+	}
+	res, _, err := w.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
+}
+
+// pruneAds retracts every advertisement whose operator the runtime no
+// longer hosts, so planners are never offered streams that stopped
+// existing.
+func (w *World) pruneAds() {
+	w.reg.Prune(func(ad ads.Ad) bool {
+		return w.rt.Operator(ad.Sig, ad.Node) != nil
+	})
+}
+
+func intList(xs []int) string {
+	if len(xs) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(xs))
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	for i, x := range sorted {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return min(max(v, lo), hi)
+}

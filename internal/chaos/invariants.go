@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hnp/internal/netgraph"
+)
+
+// check audits every cross-cutting invariant after an event has fully
+// applied. Each layer's internal audit runs first, then the properties
+// that span layers: hierarchy membership must mirror node liveness,
+// every path snapshot must be fresh for the current graph, the runtime's
+// deployed set must agree with the harness's bookkeeping, advertisements
+// must name running operators on live nodes, and all cumulative counters
+// — global transport statistics and per-query delivery statistics — must
+// be monotone across the run (recoveries preserve history; only an
+// explicit re-arrival resets a query's baseline).
+func (w *World) check() error {
+	// Layer-internal audits.
+	if err := w.h.CheckInvariants(); err != nil {
+		return err
+	}
+	liveFn := func(v netgraph.NodeID) bool { return w.live[v] }
+	if err := w.rt.CheckInvariants(liveFn); err != nil {
+		return err
+	}
+
+	// Hierarchy membership mirrors liveness exactly: a failed node is out,
+	// a recovered node is back in.
+	for v, ok := range w.live {
+		if w.h.Contains(netgraph.NodeID(v)) != ok {
+			return fmt.Errorf("node %d live=%v but hierarchy membership=%v",
+				v, ok, w.h.Contains(netgraph.NodeID(v)))
+		}
+	}
+
+	// No layer may hold a stale routing snapshot after link churn.
+	if w.paths.StaleFor(w.g) {
+		return fmt.Errorf("harness path snapshot is stale for graph version %d", w.g.Version())
+	}
+	if w.h.Paths().StaleFor(w.g) {
+		return fmt.Errorf("hierarchy path snapshot is stale for graph version %d", w.g.Version())
+	}
+	if w.rt.Cost.StaleFor(w.g) {
+		return fmt.Errorf("runtime cost snapshot is stale for graph version %d", w.g.Version())
+	}
+	if w.rt.Delay.StaleFor(w.g) {
+		return fmt.Errorf("runtime delay snapshot is stale for graph version %d", w.g.Version())
+	}
+
+	// The runtime's deployed set is exactly the harness's.
+	want := w.deployedIDs()
+	got := w.rt.DeployedQueries()
+	if len(want) != len(got) {
+		return fmt.Errorf("runtime deploys %v, harness expects %v", got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("runtime deploys %v, harness expects %v", got, want)
+		}
+	}
+
+	// Every advertisement names an operator the runtime actually hosts, on
+	// a live node — planners are never offered dead streams.
+	for _, ad := range w.reg.All() {
+		if !w.live[ad.Node] {
+			return fmt.Errorf("advertisement %s@%d survives on a dead node", ad.Sig, ad.Node)
+		}
+		if w.rt.Operator(ad.Sig, ad.Node) == nil {
+			return fmt.Errorf("advertisement %s@%d names an operator the runtime does not host", ad.Sig, ad.Node)
+		}
+	}
+
+	// Global counters never move backwards.
+	st := w.rt.Stats()
+	switch {
+	case st.TuplesTransferred < w.prev.TuplesTransferred:
+		return fmt.Errorf("TuplesTransferred regressed %d -> %d", w.prev.TuplesTransferred, st.TuplesTransferred)
+	case st.TuplesSent < w.prev.TuplesSent:
+		return fmt.Errorf("TuplesSent regressed %d -> %d", w.prev.TuplesSent, st.TuplesSent)
+	case st.TuplesDropped < w.prev.TuplesDropped:
+		return fmt.Errorf("TuplesDropped regressed %d -> %d", w.prev.TuplesDropped, st.TuplesDropped)
+	case st.WindowExpired < w.prev.WindowExpired:
+		return fmt.Errorf("WindowExpired regressed %d -> %d", w.prev.WindowExpired, st.WindowExpired)
+	case st.TotalBytes < w.prev.TotalBytes:
+		return fmt.Errorf("TotalBytes regressed %g -> %g", w.prev.TotalBytes, st.TotalBytes)
+	case st.TotalCost < w.prev.TotalCost:
+		return fmt.Errorf("TotalCost regressed %g -> %g", w.prev.TotalCost, st.TotalCost)
+	case st.Elapsed < w.prev.Elapsed:
+		return fmt.Errorf("virtual clock ran backwards %g -> %g", w.prev.Elapsed, st.Elapsed)
+	}
+	w.prev = st
+
+	// Per-query delivery statistics are monotone from each query's
+	// baseline: zero at arrival, carried across failure recovery.
+	for _, qid := range want {
+		s := w.rt.Sink(qid)
+		if s == nil {
+			return fmt.Errorf("deployed query %d has no sink statistics", qid)
+		}
+		base := w.prevSinks[qid]
+		if s.Tuples < base.tuples || s.Bytes < base.bytes || s.LatencySum < base.latency {
+			return fmt.Errorf("query %d delivery statistics regressed: %d/%g/%g below baseline %d/%g/%g",
+				qid, s.Tuples, s.Bytes, s.LatencySum, base.tuples, base.bytes, base.latency)
+		}
+		w.prevSinks[qid] = sinkBase{tuples: s.Tuples, bytes: s.Bytes, latency: s.LatencySum}
+	}
+	return nil
+}

@@ -12,6 +12,9 @@ import (
 // kernel — any map, closure-escape, or per-submask slice that sneaks back
 // into the hot path shows up here as a non-zero count.
 func TestSolveCostAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin is only meaningful without it")
+	}
 	p, _, _ := problemFixture(1, true)
 	p.Sites = dedupeSitesMap(p.Sites) // unique sites: the zero-alloc fast path
 	if _, err := SolveCost(p); err != nil {
@@ -39,6 +42,9 @@ func TestSolveCostAllocFree(t *testing.T) {
 // fixture's plan is a handful of nodes; 24 objects is far below the
 // hundreds the pre-kernel implementation spent on DP tables alone.
 func TestSolveSteadyStateAllocsOnlyPlan(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin is only meaningful without it")
+	}
 	p, _, _ := problemFixture(1, true)
 	p.Sites = dedupeSitesMap(p.Sites)
 	if _, _, err := Solve(p); err != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds heap allocations of its own and
+// makes exact allocation-count pins meaningless.
+const raceEnabled = true

@@ -1,0 +1,56 @@
+package cql
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary byte strings through the lexer and parser
+// against a fixed catalog. The property under test is totality: Parse
+// must return a Statement or an error — never panic, never hang — and an
+// accepted statement must survive conversion to a planner query (or
+// reject it with an error) without panicking either.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		q1,
+		"SELECT * FROM FLIGHTS",
+		"SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.DESTN = WEATHER.CITY",
+		"SELECT FLIGHTS.STATUS FROM FLIGHTS WHERE FLIGHTS.DP_TIME < 0.5",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.DEPARTING = 'ATLANTA'",
+		"SELECT * FROM FLIGHTS WINDOW 30 AGGREGATE COUNT",
+		"SELECT * FROM CHECK-INS WHERE CHECK-INS.FLNUM > 0.25 AND CHECK-INS.FLNUM < 0.75",
+		"select * from flights, weather, check-ins",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM NOSUCH",
+		"SELECT * FROM FLIGHTS WHERE",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X =",
+		"SELECT * FROM FLIGHTS WINDOW",
+		"SELECT * FROM FLIGHTS WINDOW x AGGREGATE",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.A < 'oops'",
+		"SELECT * FROM FLIGHTS WHERE WEATHER.CITY = FLIGHTS.DESTN",
+		"'unterminated",
+		"SELECT * FROM FLIGHTS -- trailing garbage ;;;",
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		cat := catalog()
+		st, err := Parse(cat, input)
+		if err != nil {
+			return
+		}
+		if st == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", input)
+		}
+		if len(st.Sources) == 0 {
+			t.Fatalf("Parse(%q) accepted a statement with no sources", input)
+		}
+		// Accepted statements must convert cleanly (or reject with an
+		// error) — downstream planners assume Query never panics.
+		if q, qerr := st.Query(0, 0); qerr == nil && q == nil {
+			t.Fatalf("Statement.Query of %q returned nil query and nil error", input)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package hierarchy
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -114,6 +115,91 @@ func TestRepTableMatchesChainWalk(t *testing.T) {
 				t.Fatal(err)
 			}
 			checkRepAgainstWalk(t, h, "after AddNode")
+		}
+	}
+}
+
+// TestChurnInvariants is a property test: under long random sequences of
+// RemoveNode / AddNode / Rebind churn, every structural invariant the
+// hierarchy promises (partition per level, size caps, coordinator
+// membership, exact diameters, promotion bijection, single top cluster,
+// fresh paths, dense rep table) must hold after every single operation.
+func TestChurnInvariants(t *testing.T) {
+	ops := 120
+	if testing.Short() {
+		ops = 40
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(30)
+		g := netgraph.Random(n, 2.5, netgraph.CostRange{Lo: 1, Hi: 10}, netgraph.CostRange{Lo: 0.001, Hi: 0.05}, rng)
+		paths := g.ShortestPaths(netgraph.MetricCost)
+		maxCS := 3 + rng.Intn(5)
+		h, err := Build(g, paths, maxCS, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: fresh build: %v", seed, err)
+		}
+
+		present := make([]bool, n)
+		absent := make([]netgraph.NodeID, 0, n)
+		for i := range present {
+			present[i] = true
+		}
+		minPresent := n / 3
+		nPresent := n
+
+		for op := 0; op < ops; op++ {
+			var desc string
+			switch k := rng.Intn(5); {
+			case k <= 1 && nPresent > minPresent: // remove
+				var members []netgraph.NodeID
+				for v, ok := range present {
+					if ok {
+						members = append(members, netgraph.NodeID(v))
+					}
+				}
+				v := members[rng.Intn(len(members))]
+				desc = fmt.Sprintf("RemoveNode(%d)", v)
+				if err := h.RemoveNode(v); err != nil {
+					t.Fatalf("seed %d op %d: %s: %v", seed, op, desc, err)
+				}
+				present[v] = false
+				absent = append(absent, v)
+				nPresent--
+			case k <= 3 && len(absent) > 0: // add back
+				i := rng.Intn(len(absent))
+				v := absent[i]
+				desc = fmt.Sprintf("AddNode(%d)", v)
+				if err := h.AddNode(v); err != nil {
+					t.Fatalf("seed %d op %d: %s: %v", seed, op, desc, err)
+				}
+				absent = append(absent[:i], absent[i+1:]...)
+				present[v] = true
+				nPresent++
+			default: // rebind after link churn
+				links := g.Links()
+				l := links[rng.Intn(len(links))]
+				cost := l.Cost * (0.5 + rng.Float64()*1.5)
+				desc = fmt.Sprintf("Rebind(link %d-%d -> %.3f)", l.A, l.B, cost)
+				if err := g.SetLinkCost(l.A, l.B, cost); err != nil {
+					t.Fatalf("seed %d op %d: %s: %v", seed, op, desc, err)
+				}
+				if err := h.Rebind(g.ShortestPaths(netgraph.MetricCost)); err != nil {
+					t.Fatalf("seed %d op %d: %s: %v", seed, op, desc, err)
+				}
+			}
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d op %d: after %s: %v", seed, op, desc, err)
+			}
+			for v, ok := range present {
+				if h.Contains(netgraph.NodeID(v)) != ok {
+					t.Fatalf("seed %d op %d: after %s: node %d present=%v, hierarchy says %v",
+						seed, op, desc, v, ok, !ok)
+				}
+			}
 		}
 	}
 }

@@ -113,10 +113,12 @@ func (rt *Runtime) Deploy(q *query.Query, plan *query.PlanNode, cat *query.Catal
 
 	root, err := instantiate(plan)
 	if err != nil {
-		// Roll back references taken so far.
+		// Roll back references taken so far and collect any operators this
+		// partial instantiation created that nothing now references.
 		for _, k := range held {
 			rt.ops[k].refs--
 		}
+		rt.gc()
 		return err
 	}
 	rt.sinks[q.ID] = &SinkStats{Node: q.Sink}
@@ -163,9 +165,14 @@ func (rt *Runtime) Undeploy(queryID int) error {
 		op.unsubscribe(subscription{sink: queryID, to: rt.sinks[queryID].Node})
 	}
 	delete(rt.deploys, queryID)
-	// Garbage-collect unreferenced operators (iterate to a fixed point so
-	// chains collapse; subscriptions into removed operators are dropped
-	// lazily by emit).
+	rt.gc()
+	return nil
+}
+
+// gc garbage-collects unreferenced operators (iterating to a fixed point
+// so chains collapse; subscriptions into removed operators are dropped
+// eagerly here, and lazily by emit for tuples already in flight).
+func (rt *Runtime) gc() {
 	for changed := true; changed; {
 		changed = false
 		for k, op := range rt.ops {
@@ -188,7 +195,6 @@ func (rt *Runtime) Undeploy(queryID int) error {
 			}
 		}
 	}
-	return nil
 }
 
 // DeployTime replays a planning trace over the simulated network and

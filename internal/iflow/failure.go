@@ -11,8 +11,12 @@ import (
 // FailNode models a node crash: every operator hosted on the node (base
 // taps, joins, filters) dies immediately, subscriptions into them are
 // dropped, and tuples in flight toward them are lost. It returns the IDs
-// of the queries whose deployments referenced an operator on the failed
-// node, sorted, so the middleware can re-plan them.
+// of the queries the crash affects, sorted, so the middleware can re-plan
+// them: queries whose deployments referenced an operator on the failed
+// node, and queries whose sink lives there (their consumer is gone — the
+// delivery stream has nowhere to go until RecoverQueries re-plans them,
+// which tears the orphaned deployment down and fails their re-planning
+// while the sink stays dead).
 func (rt *Runtime) FailNode(v netgraph.NodeID) []int {
 	dead := map[opKey]bool{}
 	for k := range rt.ops {
@@ -21,7 +25,13 @@ func (rt *Runtime) FailNode(v netgraph.NodeID) []int {
 			delete(rt.ops, k)
 		}
 	}
-	if len(dead) == 0 {
+	affected := map[int]bool{}
+	for qid := range rt.deploys {
+		if s := rt.sinks[qid]; s != nil && s.Node == v {
+			affected[qid] = true
+		}
+	}
+	if len(dead) == 0 && len(affected) == 0 {
 		return nil
 	}
 	// Drop subscriptions into dead operators.
@@ -35,7 +45,6 @@ func (rt *Runtime) FailNode(v netgraph.NodeID) []int {
 		}
 		op.subs = kept
 	}
-	affected := map[int]bool{}
 	for qid, held := range rt.deploys {
 		for _, k := range held {
 			if dead[k] {

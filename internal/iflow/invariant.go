@@ -1,0 +1,201 @@
+package iflow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hnp/internal/netgraph"
+)
+
+// CheckInvariants audits the runtime's internal consistency and returns
+// the first violation found. liveNode, when non-nil, reports whether a
+// physical node is currently alive; every hosted operator must then sit on
+// a live node (FailNode must have swept dead nodes clean).
+//
+// The checks, in order:
+//
+//   - every operator is indexed under its own key, holds a non-negative
+//     reference count, and (with liveNode) runs on a live node;
+//   - every subscription is well-formed: operator subscriptions point at
+//     an existing operator at the subscription's destination node, sink
+//     subscriptions name a deployed query and its recorded sink node;
+//   - each deployed query holds exactly one sink subscription and only
+//     references operators that exist; per-operator reference counts equal
+//     the number of deployment holds on them;
+//   - an operator with no references has at least one subscriber (it is
+//     kept alive only to feed downstream work — anything else is garbage
+//     Undeploy failed to collect);
+//   - the subscription graph between operators is acyclic;
+//   - transport conservation: transferred bytes equal the fixed tuple
+//     size times the transferred-tuple count, the in-flight ledger is
+//     non-negative, and per-sink byte counts match delivered tuples.
+//
+// It is a read-only audit intended for tests and the chaos harness; cost
+// is linear in operators + subscriptions.
+func (rt *Runtime) CheckInvariants(liveNode func(netgraph.NodeID) bool) error {
+	keys := make([]opKey, 0, len(rt.ops))
+	for k := range rt.ops {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sig != keys[j].sig {
+			return keys[i].sig < keys[j].sig
+		}
+		return keys[i].node < keys[j].node
+	})
+
+	sinkSubs := map[int]int{} // query ID -> sink subscriptions seen
+	for _, k := range keys {
+		op := rt.ops[k]
+		if op.key != k {
+			return fmt.Errorf("iflow: operator indexed at %s@%d carries key %s@%d", k.sig, k.node, op.key.sig, op.key.node)
+		}
+		if liveNode != nil && !liveNode(k.node) {
+			return fmt.Errorf("iflow: operator %s@%d hosted on a dead node", k.sig, k.node)
+		}
+		if op.refs < 0 {
+			return fmt.Errorf("iflow: operator %s@%d has negative refcount %d", k.sig, k.node, op.refs)
+		}
+		if op.refs == 0 && len(op.subs) == 0 {
+			return fmt.Errorf("iflow: orphan operator %s@%d (no references, no subscribers)", k.sig, k.node)
+		}
+		for _, s := range op.subs {
+			if s.sink >= 0 {
+				stats, ok := rt.sinks[s.sink]
+				if !ok {
+					return fmt.Errorf("iflow: %s@%d delivers to unknown query %d", k.sig, k.node, s.sink)
+				}
+				if s.to != stats.Node {
+					return fmt.Errorf("iflow: %s@%d delivers query %d to node %d, sink records node %d",
+						k.sig, k.node, s.sink, s.to, stats.Node)
+				}
+				if _, deployed := rt.deploys[s.sink]; !deployed {
+					return fmt.Errorf("iflow: %s@%d still delivers to undeployed query %d", k.sig, k.node, s.sink)
+				}
+				sinkSubs[s.sink]++
+				continue
+			}
+			if rt.ops[s.dst] == nil {
+				return fmt.Errorf("iflow: %s@%d subscribes missing operator %s@%d", k.sig, k.node, s.dst.sig, s.dst.node)
+			}
+			if s.to != s.dst.node {
+				return fmt.Errorf("iflow: %s@%d routes %s@%d via node %d", k.sig, k.node, s.dst.sig, s.dst.node, s.to)
+			}
+		}
+	}
+
+	// Deployment holds vs. operator reference counts.
+	qids := make([]int, 0, len(rt.deploys))
+	for qid := range rt.deploys {
+		qids = append(qids, qid)
+	}
+	sort.Ints(qids)
+	holds := map[opKey]int{}
+	for _, qid := range qids {
+		if sinkSubs[qid] != 1 {
+			return fmt.Errorf("iflow: deployed query %d has %d sink subscriptions, want 1", qid, sinkSubs[qid])
+		}
+		if rt.sinks[qid] == nil {
+			return fmt.Errorf("iflow: deployed query %d has no sink stats", qid)
+		}
+		for _, k := range rt.deploys[qid] {
+			if rt.ops[k] == nil {
+				return fmt.Errorf("iflow: query %d holds missing operator %s@%d", qid, k.sig, k.node)
+			}
+			holds[k]++
+		}
+	}
+	for _, k := range keys {
+		if op := rt.ops[k]; op.refs != holds[k] {
+			return fmt.Errorf("iflow: operator %s@%d refcount %d, %d deployment holds", k.sig, k.node, op.refs, holds[k])
+		}
+	}
+
+	if err := rt.checkAcyclic(keys); err != nil {
+		return err
+	}
+
+	// Transport conservation. Every tuple the engine moves has the fixed
+	// configured size (base emissions, projected join outputs, aggregate
+	// summaries, filter pass-throughs), so byte totals are tied to counts.
+	if rt.InFlight() < 0 {
+		return fmt.Errorf("iflow: negative in-flight ledger %d (sent %d)", rt.InFlight(), rt.TuplesSent)
+	}
+	if rt.TuplesTransferred > rt.TuplesSent {
+		return fmt.Errorf("iflow: %d tuples crossed links but only %d were sent", rt.TuplesTransferred, rt.TuplesSent)
+	}
+	if want := rt.cfg.TupleSize * float64(rt.TuplesTransferred); !approxEq(rt.TotalBytes, want) {
+		return fmt.Errorf("iflow: %d transferred tuples of size %g account %g bytes, runtime recorded %g",
+			rt.TuplesTransferred, rt.cfg.TupleSize, want, rt.TotalBytes)
+	}
+	sids := make([]int, 0, len(rt.sinks))
+	for qid := range rt.sinks {
+		sids = append(sids, qid)
+	}
+	sort.Ints(sids)
+	for _, qid := range sids {
+		s := rt.sinks[qid]
+		if s.Tuples < 0 || s.Bytes < 0 || s.LatencySum < 0 {
+			return fmt.Errorf("iflow: sink %d has negative statistics %+v", qid, *s)
+		}
+		if want := rt.cfg.TupleSize * float64(s.Tuples); !approxEq(s.Bytes, want) {
+			return fmt.Errorf("iflow: sink %d delivered %d tuples but %g bytes (want %g)", qid, s.Tuples, s.Bytes, want)
+		}
+	}
+	return nil
+}
+
+// DeployedQueries returns the IDs of currently deployed queries, sorted.
+func (rt *Runtime) DeployedQueries() []int {
+	out := make([]int, 0, len(rt.deploys))
+	for qid := range rt.deploys {
+		out = append(out, qid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkAcyclic verifies the operator-to-operator subscription graph has no
+// cycles (a cycle would feed an operator its own output and melt the
+// simulation into an infinite tuple loop).
+func (rt *Runtime) checkAcyclic(keys []opKey) error {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := map[opKey]int{}
+	var visit func(k opKey) error
+	visit = func(k opKey) error {
+		switch state[k] {
+		case inStack:
+			return fmt.Errorf("iflow: subscription cycle through %s@%d", k.sig, k.node)
+		case done:
+			return nil
+		}
+		state[k] = inStack
+		for _, s := range rt.ops[k].subs {
+			if s.sink >= 0 {
+				continue
+			}
+			if err := visit(s.dst); err != nil {
+				return err
+			}
+		}
+		state[k] = done
+		return nil
+	}
+	for _, k := range keys {
+		if err := visit(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// approxEq compares accumulated float totals with a relative tolerance.
+func approxEq(a, b float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}

@@ -169,6 +169,14 @@ type Runtime struct {
 	TuplesDropped int64
 	// WindowExpired counts tuples evicted from join windows.
 	WindowExpired int64
+	// TuplesSent counts every tuple handed to the transport for delivery,
+	// node-local handoffs included. Each sent tuple settles exactly once
+	// when its delivery callback runs (sink arrival, operator receive, or
+	// in-flight drop), so TuplesSent - tuplesSettled is the number of
+	// tuples currently in flight — the conservation ledger the chaos
+	// harness checks.
+	TuplesSent    int64
+	tuplesSettled int64
 
 	// Telemetry handles (nil until BindObs; all nil-safe no-ops then).
 	obsTransferred *obs.Counter
@@ -231,8 +239,17 @@ func (rt *Runtime) transfer(from, to netgraph.NodeID, t Tuple, deliver func(Tupl
 		rt.obsCost.Set(rt.TotalCost)
 	}
 	delay := rt.Delay.Dist(from, to)
-	rt.Sim.Schedule(delay, func() { deliver(t) })
+	rt.TuplesSent++
+	rt.Sim.Schedule(delay, func() {
+		rt.tuplesSettled++
+		deliver(t)
+	})
 }
+
+// InFlight returns the number of tuples handed to the transport whose
+// delivery callback has not yet run. It is never negative and reaches zero
+// once the simulation quiesces (sources ended, event queue drained).
+func (rt *Runtime) InFlight() int64 { return rt.TuplesSent - rt.tuplesSettled }
 
 // emit fans an operator's output tuple out to all subscribers.
 func (rt *Runtime) emit(op *Operator, t Tuple) {
@@ -304,7 +321,7 @@ func (rt *Runtime) receive(op *Operator, s side, t Tuple) {
 		if o.Key == t.Key {
 			// Join outputs are projected to the fixed tuple width, keeping
 			// data rates in the same units as the analytic cost model.
-			out := Tuple{Key: t.Key, Size: rt.cfg.TupleSize, Born: min64(t.Born, o.Born)}
+			out := Tuple{Key: t.Key, Size: rt.cfg.TupleSize, Born: min(t.Born, o.Born)}
 			rt.emit(op, out)
 		}
 	}
@@ -320,13 +337,6 @@ func expire(w []Tuple, horizon float64) []Tuple {
 		return w
 	}
 	return append(w[:0], w[i:]...)
-}
-
-func min64(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // StartSource registers a base stream tap at its node and schedules
@@ -393,6 +403,8 @@ type Stats struct {
 	TuplesTransferred int64
 	TuplesDropped     int64
 	WindowExpired     int64
+	TuplesSent        int64
+	TuplesInFlight    int64
 	TotalCost         float64
 	TotalBytes        float64
 	Elapsed           float64
@@ -414,6 +426,8 @@ func (rt *Runtime) Stats() Stats {
 		TuplesTransferred: rt.TuplesTransferred,
 		TuplesDropped:     rt.TuplesDropped,
 		WindowExpired:     rt.WindowExpired,
+		TuplesSent:        rt.TuplesSent,
+		TuplesInFlight:    rt.InFlight(),
 		TotalCost:         rt.TotalCost,
 		TotalBytes:        rt.TotalBytes,
 		Elapsed:           rt.Sim.Now(),
