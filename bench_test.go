@@ -10,6 +10,7 @@ import (
 	costpkg "hnp/internal/cost"
 	"hnp/internal/exp"
 	"hnp/internal/hierarchy"
+	"hnp/internal/iflow"
 	"hnp/internal/netgraph"
 	"hnp/internal/obs"
 	"hnp/internal/query"
@@ -401,6 +402,101 @@ func BenchmarkSolveDP(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- migration benchmarks --------------------------------------------------
+
+// migratePlans builds the fixed-seed K=6 world BenchmarkMigrate and the
+// cmd/benchjson trajectory harness share: a 32-node transit-stub network,
+// six streams, and two left-deep plans differing in a single join
+// placement (the third join moves node 7 -> 10).
+func migratePlans() (*netgraph.Graph, *query.Catalog, *query.Query, *query.PlanNode, *query.PlanNode) {
+	rng := rand.New(rand.NewSource(8))
+	g := netgraph.MustTransitStub(32, rng)
+	cat := query.NewCatalog(0.01)
+	ids := make([]query.StreamID, 6)
+	for i := range ids {
+		ids[i] = cat.Add("s", 1+rng.Float64()*20, netgraph.NodeID(rng.Intn(32)))
+	}
+	q, err := query.NewQuery(0, ids, 3)
+	if err != nil {
+		panic(err)
+	}
+	rt := query.BuildRates(cat, q)
+	leftDeep := func(locs []netgraph.NodeID) *query.PlanNode {
+		leaf := func(pos int) *query.PlanNode {
+			m := query.Mask(1 << uint(pos))
+			return query.Leaf(query.Input{
+				Mask: m, Rate: rt.Rate(m), Loc: cat.Stream(ids[pos]).Source, Sig: q.SigOf(m),
+			})
+		}
+		cur := leaf(0)
+		for i := 1; i < q.K(); i++ {
+			cur = query.Join(cur, leaf(i), locs[i-1], rt.Rate(cur.Mask|query.Mask(1<<uint(i))))
+		}
+		return cur
+	}
+	planA := leftDeep([]netgraph.NodeID{5, 6, 7, 8, 9})
+	planB := leftDeep([]netgraph.NodeID{5, 6, 10, 8, 9})
+	return g, cat, q, planA, planB
+}
+
+// BenchmarkMigrate contrasts diff-based plan migration with the teardown
+// path it replaces, for a single placement change in a K=6 plan: "delta"
+// applies iflow.Runtime.Migrate (one create + one retire, everything else
+// kept running in place), "teardown" undeploys and redeploys from scratch
+// (every operator down, every operator up). ns/op is local planning
+// bookkeeping — the delta path pays for diffing; ops-churned/op is what a
+// deployed system pays — operators stopped or started, windows and
+// statistics lost with each. The churn gap (~2 vs ~2K ops) is what the
+// plan IR + diff machinery buys at adaptation time.
+func BenchmarkMigrate(b *testing.B) {
+	g, cat, q, planA, planB := migratePlans()
+	const until = 1e6
+	b.Run("delta", func(b *testing.B) {
+		rt := iflow.New(g, iflow.DefaultConfig(), 1)
+		if err := rt.Deploy(q, planA, cat, until); err != nil {
+			b.Fatal(err)
+		}
+		churn := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			target := planB
+			if i%2 == 1 {
+				target = planA
+			}
+			rep, err := rt.Migrate(q, target, cat, until)
+			if err != nil {
+				b.Fatal(err)
+			}
+			churn += rep.Delta()
+		}
+		b.ReportMetric(float64(churn)/float64(b.N), "ops-churned/op")
+	})
+	b.Run("teardown", func(b *testing.B) {
+		rt := iflow.New(g, iflow.DefaultConfig(), 1)
+		if err := rt.Deploy(q, planA, cat, until); err != nil {
+			b.Fatal(err)
+		}
+		churn := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			target := planB
+			if i%2 == 1 {
+				target = planA
+			}
+			torn := rt.NumOperators()
+			if err := rt.Undeploy(q.ID); err != nil {
+				b.Fatal(err)
+			}
+			torn -= rt.NumOperators()
+			if err := rt.Deploy(q, target, cat, until); err != nil {
+				b.Fatal(err)
+			}
+			churn += torn + rt.NumOperators()
+		}
+		b.ReportMetric(float64(churn)/float64(b.N), "ops-churned/op")
+	})
 }
 
 // BenchmarkAblationLeftDeep contrasts bushy and left-deep plan spaces for

@@ -4,9 +4,9 @@
 //
 // The workloads are seeded identically on every run (and identical to the
 // corresponding go-test benchmarks: BenchmarkSolveK4/K6, BenchmarkDeploy,
-// BenchmarkAPSP), so the measured code path is reproducible; only the
-// wall-clock figures move with the hardware. CI runs it with short
-// iterations and uploads the artifact:
+// BenchmarkAPSP, BenchmarkMigrate), so the measured code path is
+// reproducible; only the wall-clock figures move with the hardware. CI
+// runs it with short iterations and uploads the artifact:
 //
 //	go run ./cmd/benchjson -benchtime 10x -o BENCH_planner.json
 //
@@ -28,6 +28,7 @@ import (
 	"hnp/internal/baseline"
 	"hnp/internal/core"
 	costpkg "hnp/internal/cost"
+	"hnp/internal/iflow"
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
 )
@@ -42,6 +43,11 @@ type benchResult struct {
 	// PlansPerSec is the nominal search-space coverage rate: plans
 	// considered per wall-clock second (0 where the notion doesn't apply).
 	PlansPerSec float64 `json:"plans_per_sec,omitempty"`
+	// OpsChurnedPerOp is the operator churn one op costs a deployed
+	// system — operators stopped or started, windows and statistics lost
+	// with each (0 where the notion doesn't apply). Like allocs_per_op it
+	// is hardware-independent: a churn regression is real on any machine.
+	OpsChurnedPerOp float64 `json:"ops_churned_per_op,omitempty"`
 }
 
 type trajectory struct {
@@ -80,6 +86,40 @@ func solveProblem(k, n int) core.Problem {
 		Goal:   q.All(),
 		Sink:   q.Sink, Deliver: true,
 	}
+}
+
+// migratePlans mirrors the fixture of BenchmarkMigrate in bench_test.go:
+// a 32-node network, a K=6 left-deep query, and two plans differing in a
+// single join placement (the third join moves node 7 -> 10).
+func migratePlans() (*netgraph.Graph, *query.Catalog, *query.Query, *query.PlanNode, *query.PlanNode) {
+	rng := rand.New(rand.NewSource(8))
+	g := netgraph.MustTransitStub(32, rng)
+	cat := query.NewCatalog(0.01)
+	ids := make([]query.StreamID, 6)
+	for i := range ids {
+		ids[i] = cat.Add("s", 1+rng.Float64()*20, netgraph.NodeID(rng.Intn(32)))
+	}
+	q, err := query.NewQuery(0, ids, 3)
+	if err != nil {
+		panic(err)
+	}
+	rt := query.BuildRates(cat, q)
+	leftDeep := func(locs []netgraph.NodeID) *query.PlanNode {
+		leaf := func(pos int) *query.PlanNode {
+			m := query.Mask(1 << uint(pos))
+			return query.Leaf(query.Input{
+				Mask: m, Rate: rt.Rate(m), Loc: cat.Stream(ids[pos]).Source, Sig: q.SigOf(m),
+			})
+		}
+		cur := leaf(0)
+		for i := 1; i < q.K(); i++ {
+			cur = query.Join(cur, leaf(i), locs[i-1], rt.Rate(cur.Mask|query.Mask(1<<uint(i))))
+		}
+		return cur
+	}
+	planA := leftDeep([]netgraph.NodeID{5, 6, 7, 8, 9})
+	planB := leftDeep([]netgraph.NodeID{5, 6, 10, 8, 9})
+	return g, cat, q, planA, planB
 }
 
 // measure runs fn under testing.Benchmark and records it. plansPerOp, when
@@ -201,6 +241,67 @@ func main() {
 		if last.NsPerOp > 0 {
 			last.PlansPerSec = plansPerOp / (float64(last.NsPerOp) / 1e9)
 		}
+	}
+
+	// MigrateDelta vs MigrateTeardown: replacing a running K=6 plan after
+	// a single placement change, as a diff-based migration and as the
+	// undeploy+redeploy it replaces. ns/op is local planning bookkeeping;
+	// ops_churned_per_op is the deployed-system cost the diff machinery
+	// exists to shrink (~2 vs ~2K operators).
+	{
+		g, cat, q, planA, planB := migratePlans()
+		const until = 1e6
+
+		rt := iflow.New(g, iflow.DefaultConfig(), 1)
+		if err := rt.Deploy(q, planA, cat, until); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var churnPerOp float64
+		measure(&traj.Benchmarks, "MigrateDelta", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			churn := 0
+			for i := 0; i < b.N; i++ {
+				target := planB
+				if i%2 == 1 {
+					target = planA
+				}
+				rep, err := rt.Migrate(q, target, cat, until)
+				if err != nil {
+					b.Fatal(err)
+				}
+				churn += rep.Delta()
+			}
+			churnPerOp = float64(churn) / float64(b.N)
+		})
+		traj.Benchmarks[len(traj.Benchmarks)-1].OpsChurnedPerOp = churnPerOp
+
+		rt = iflow.New(g, iflow.DefaultConfig(), 1)
+		if err := rt.Deploy(q, planA, cat, until); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		measure(&traj.Benchmarks, "MigrateTeardown", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			churn := 0
+			for i := 0; i < b.N; i++ {
+				target := planB
+				if i%2 == 1 {
+					target = planA
+				}
+				torn := rt.NumOperators()
+				if err := rt.Undeploy(q.ID); err != nil {
+					b.Fatal(err)
+				}
+				torn -= rt.NumOperators()
+				if err := rt.Deploy(q, target, cat, until); err != nil {
+					b.Fatal(err)
+				}
+				churn += torn + rt.NumOperators()
+			}
+			churnPerOp = float64(churn) / float64(b.N)
+		})
+		traj.Benchmarks[len(traj.Benchmarks)-1].OpsChurnedPerOp = churnPerOp
 	}
 
 	buf, err := json.MarshalIndent(traj, "", "  ")

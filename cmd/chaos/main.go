@@ -7,7 +7,13 @@
 // event.
 //
 //	$ go run ./cmd/chaos -seeds 20 -events 200
+//	$ go run ./cmd/chaos -migrate -seeds 10 -events 300
 //	$ go run ./cmd/chaos -seed0 42 -seeds 1 -events 500 -v
+//
+// With -migrate the schedule also re-plans deployed queries and applies
+// the fresh plans as diff-based migrations (iflow.Migrate): shared
+// operators keep running, only changed subtrees churn, and the invariants
+// additionally police sink-statistic carry-over across migrations.
 //
 // A violation prints the offending seed and its full replayable event
 // trace and exits non-zero; re-running with -seed0 <seed> -seeds 1
@@ -33,6 +39,7 @@ func main() {
 		streams = flag.Int("streams", 8, "base streams in the catalog")
 		queries = flag.Int("queries", 10, "query pool size")
 		step    = flag.Float64("step", 0.4, "mean virtual seconds between events")
+		migrate = flag.Bool("migrate", false, "add plan-migration churn: deployed queries are re-planned and diff-migrated in place")
 		verbose = flag.Bool("v", false, "print every run's event trace")
 	)
 	flag.Parse()
@@ -46,6 +53,7 @@ func main() {
 		cfg.Streams = *streams
 		cfg.Queries = *queries
 		cfg.MeanStep = *step
+		cfg.Migrate = *migrate
 
 		w, err := chaos.New(cfg)
 		if err != nil {

@@ -21,7 +21,10 @@
 // network, max_cs=32) through both hierarchical optimizers and prints
 // each planning step — cluster level, coordinator, inputs joined, reuse
 // candidates offered, candidates examined, local search time, chosen cost
-// — followed by the telemetry snapshot, then exits.
+// — then runs the chosen plan in the IFLOW runtime, shifts a stream rate
+// mid-flight and applies the re-planned tree as a diff-based live
+// migration (printing what it kept, churned and carried), followed by the
+// telemetry snapshot, and exits.
 //
 // -debug-addr serves expvar (/debug/vars, including the process-wide
 // telemetry under "hnp"), pprof (/debug/pprof/) and a JSON telemetry
@@ -41,6 +44,7 @@ import (
 
 	"hnp"
 	"hnp/internal/exp"
+	"hnp/internal/iflow"
 	"hnp/internal/obs"
 )
 
@@ -147,7 +151,8 @@ func main() {
 
 // runExplain deploys two overlapping queries on a canned 128-node system
 // with both hierarchical algorithms and prints each planner's annotated
-// search narrative, then the system telemetry snapshot.
+// search narrative, demonstrates a diff-based live migration after a
+// mid-flight rate shift, then prints the system telemetry snapshot.
 func runExplain(seed int64) error {
 	hnp.EnableTelemetry()
 	g := hnp.TransitStubNetwork(128, seed)
@@ -171,14 +176,47 @@ func runExplain(seed int64) error {
 	fmt.Printf("=== warm-up deploy: FLIGHTS⋈WEATHER via top-down (cost %.4g) ===\n", warm.Cost)
 	warm.ExplainTo(os.Stdout)
 
+	plans := map[hnp.Algorithm]hnp.Deployment{}
 	for _, algo := range []hnp.Algorithm{hnp.AlgoTopDown, hnp.AlgoBottomUp} {
 		d, err := sys.Plan([]hnp.StreamID{a, b, c}, 9, algo)
 		if err != nil {
 			return err
 		}
+		plans[algo] = d
 		fmt.Printf("\n=== FLIGHTS⋈WEATHER⋈CHECKINS via %v (cost %.4g) ===\n", algo, d.Cost)
 		d.ExplainTo(os.Stdout)
 	}
+
+	// Migration demo: run the top-down plan in the IFLOW runtime, collapse
+	// the CHECKINS rate at t=30s, replan, and apply the fresh plan as a
+	// diff-based migration — operators both plans share keep running, only
+	// the changed subtree churns, and the report quantifies what a full
+	// teardown would have cost instead. The warm-up query runs too: the
+	// 3-way plans consume its advertised FLIGHTS⋈WEATHER stream, so its
+	// producer must be live.
+	td := plans[hnp.AlgoTopDown]
+	rt := iflow.New(g, iflow.DefaultConfig(), seed)
+	rt.BindObs(sys.Obs) // migration counters land in the snapshot below
+	const horizon = 60.0
+	if err := rt.Deploy(warm.Query, warm.Plan, sys.Catalog, horizon); err != nil {
+		return err
+	}
+	if err := rt.Deploy(td.Query, td.Plan, sys.Catalog, horizon); err != nil {
+		return err
+	}
+	rt.RunFor(30)
+	sys.Catalog.SetRate(c, 0.5)
+	sys.Refresh()
+	fresh, err := sys.Plan([]hnp.StreamID{a, b, c}, 9, hnp.AlgoTopDown)
+	if err != nil {
+		return err
+	}
+	rep, err := rt.Migrate(td.Query, fresh.Plan, sys.Catalog, horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n=== live migration at t=30s: CHECKINS collapses to 0.5 tuples/s, replan and diff ===\n")
+	fmt.Printf("old: %s\nnew: %s\n%s\n", td.Plan, fresh.Plan, rep)
 
 	fmt.Println("\n=== telemetry snapshot ===")
 	return obs.TextSink{W: os.Stdout}.Emit(sys.Snapshot())

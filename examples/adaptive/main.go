@@ -71,6 +71,13 @@ func main() {
 	rt.RunFor(horizon)
 
 	fmt.Printf("\nmiddleware checks: %d, plan migrations: %d\n", stats.Checks, stats.Migrations)
+	if stats.Migrations > 0 {
+		m := stats.MigrationStats
+		fmt.Printf("migration churn: kept %d ops running, created %d, retired %d (moved %d, rewired %d)\n",
+			m.Kept, m.Created, m.Retired, m.Moved, m.Rewired)
+		fmt.Printf("  teardown would have churned %d ops; carried %d buffered tuples (%.0f bytes) in place\n",
+			m.TeardownOps, m.StateCarried, m.BytesSaved)
+	}
 	fmt.Printf("final plan: %s\n", plans[dep.Query.ID])
 	sink := rt.Sink(dep.Query.ID)
 	fmt.Printf("delivered %d result tuples; mean latency %.0fms; measured cost rate %.1f\n",

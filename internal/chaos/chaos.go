@@ -50,6 +50,11 @@ type Config struct {
 	// MeanStep is the mean virtual seconds advanced before each event
 	// (exponentially distributed, so perturbations hit at ragged times).
 	MeanStep float64
+	// Migrate adds plan-migration churn to the schedule: deployed queries
+	// are periodically re-planned against current conditions and the new
+	// plan applied as a diff-based migration (iflow.Migrate) rather than a
+	// teardown. Off by default so existing seeds replay unchanged.
+	Migrate bool
 	// Runtime tunes the IFLOW engine's physical constants.
 	Runtime iflow.Config
 }
@@ -298,6 +303,10 @@ func (w *World) nextEvent(idx int) Event {
 	if len(deployed) > 0 {
 		choices = append(choices, choice{KindQueryUndeploy, 1})
 	}
+	migratable := w.eligibleMigrations()
+	if w.cfg.Migrate && len(migratable) > 0 {
+		choices = append(choices, choice{KindQueryMigrate, 3})
+	}
 	if w.nLive > w.minLive {
 		choices = append(choices, choice{KindFailNode, 2})
 	}
@@ -322,6 +331,8 @@ func (w *World) nextEvent(idx int) Event {
 		e.Query = arrivals[w.rng.Intn(len(arrivals))]
 	case KindQueryUndeploy:
 		e.Query = deployed[w.rng.Intn(len(deployed))]
+	case KindQueryMigrate:
+		e.Query = migratable[w.rng.Intn(len(migratable))]
 	case KindFailNode:
 		liveNodes := make([]netgraph.NodeID, 0, w.nLive)
 		for v, ok := range w.live {
@@ -352,6 +363,32 @@ func (w *World) eligibleArrivals() []int {
 	var out []int
 	for _, q := range w.pool {
 		if w.state[q.ID] != stateIdle || !w.live[q.Sink] {
+			continue
+		}
+		ok := true
+		for _, sid := range q.Sources {
+			if !w.live[w.cat.Stream(sid).Source] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, q.ID)
+		}
+	}
+	return out
+}
+
+// eligibleMigrations lists deployed queries that can be re-planned from
+// scratch: all their base sources and their sink on live nodes. A deployed
+// query can outlive one of its source nodes when its plan consumes another
+// query's derived stream (none of its own operators sat on the dead node);
+// such a query keeps running but cannot be re-planned until the source
+// recovers, so it is not a migration target.
+func (w *World) eligibleMigrations() []int {
+	var out []int
+	for _, q := range w.pool {
+		if w.state[q.ID] != stateDeployed || !w.live[q.Sink] {
 			continue
 		}
 		ok := true
@@ -430,6 +467,8 @@ func (w *World) apply(e *Event) error {
 	case KindRateShift:
 		w.cat.SetRate(e.Stream, e.Value)
 		return nil
+	case KindQueryMigrate:
+		return w.applyMigrate(e)
 	}
 	return fmt.Errorf("unknown event kind %d", e.Kind)
 }
@@ -478,6 +517,29 @@ func (w *World) applyArrive(e *Event) error {
 	w.plans[q.ID] = res.Plan
 	w.state[q.ID] = stateDeployed
 	w.prevSinks[q.ID] = sinkBase{} // Deploy resets delivery statistics
+	return nil
+}
+
+// applyMigrate re-plans a deployed query against current conditions and
+// applies the fresh plan as a diff-based migration. The query's delivery
+// baseline is deliberately NOT reset: Migrate must carry sink statistics
+// natively, so the monotonicity invariant now also polices migrations.
+func (w *World) applyMigrate(e *Event) error {
+	q := w.qByID[e.Query]
+	res, algo, err := w.planQuery(q)
+	e.Algo = algo
+	if err != nil {
+		return fmt.Errorf("planner rejected deployed query %d: %w", q.ID, err)
+	}
+	rep, err := w.rt.Migrate(q, res.Plan, w.cat, w.horizon)
+	if err != nil {
+		return fmt.Errorf("migration rejected plan %s: %w", res.Plan, err)
+	}
+	w.plans[q.ID] = res.Plan
+	w.reg.AdvertisePlan(q, res.Plan)
+	w.pruneAds()
+	e.Note = fmt.Sprintf("kept=%d created=%d retired=%d moved=%d rewired=%d",
+		rep.Kept, rep.Created, rep.Retired, rep.Moved, rep.Rewired)
 	return nil
 }
 

@@ -61,6 +61,69 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosMigration runs schedules with migration churn enabled: deployed
+// queries are repeatedly re-planned and migrated diff-wise while failures,
+// recoveries and cost drift keep hitting the stack. Every invariant —
+// including sink-statistic monotonicity across migrations, the
+// plan-bookkeeping mirror, and the zero-in-flight ledger after quiesce —
+// must hold, and migrations must actually occur.
+func TestChaosMigration(t *testing.T) {
+	seeds, events := 12, 200
+	if testing.Short() {
+		seeds, events = 4, 100
+	}
+	migrates := 0
+	for s := 0; s < seeds; s++ {
+		seed := int64(s + 101)
+		cfg := DefaultConfig(seed)
+		cfg.Events = events
+		cfg.Migrate = true
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		rep, err := w.Run()
+		if err != nil {
+			t.Errorf("%v\ntrace:\n%s", err, rep.TraceString())
+			continue
+		}
+		migrates += rep.Counts["query-migrate"]
+	}
+	if migrates == 0 {
+		t.Error("migration churn enabled but no migration was ever scheduled")
+	}
+}
+
+// TestChaosMigrationDeterministic replays one migration-churn seed twice:
+// migrations involve rewiring live operators, and any map-ordering leak in
+// that path would show up as diverging traces or tuple counts.
+func TestChaosMigrationDeterministic(t *testing.T) {
+	run := func() Report {
+		cfg := DefaultConfig(55)
+		cfg.Events = 120
+		cfg.Migrate = true
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		rep, err := w.Run()
+		if err != nil {
+			t.Fatalf("%v\ntrace:\n%s", err, rep.TraceString())
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.TraceString() != b.TraceString() {
+		t.Fatalf("same seed, different traces:\n--- first\n%s\n--- second\n%s", a.TraceString(), b.TraceString())
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("same seed, different stats: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Delivered != b.Delivered {
+		t.Fatalf("same seed, different deliveries: %d vs %d", a.Delivered, b.Delivered)
+	}
+}
+
 // TestChaosLiveness guards against a harness that vacuously passes by
 // never moving data: a standard run must deploy queries, transfer tuples
 // across links, and deliver tuples to sinks.

@@ -36,6 +36,12 @@ const (
 	// KindRateShift drifts one base stream's catalog rate, shifting the
 	// model future plans are costed against.
 	KindRateShift
+	// KindQueryMigrate re-plans one deployed query (Top-Down or Bottom-Up,
+	// chosen per event) and applies the new plan as a diff-based migration:
+	// operators shared by both plans keep running, only changed subtrees
+	// churn, and delivery statistics must carry across without a reset.
+	// Only scheduled when Config.Migrate is set.
+	KindQueryMigrate
 )
 
 // String names the kind for traces.
@@ -55,6 +61,8 @@ func (k Kind) String() string {
 		return "query-undeploy"
 	case KindRateShift:
 		return "rate-shift"
+	case KindQueryMigrate:
+		return "query-migrate"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -94,7 +102,7 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " node=%d", e.Node)
 	case KindLinkCost:
 		fmt.Fprintf(&b, " link=%d-%d cost=%.4f", e.A, e.B, e.Value)
-	case KindQueryArrive:
+	case KindQueryArrive, KindQueryMigrate:
 		fmt.Fprintf(&b, " query=%d algo=%s", e.Query, e.Algo)
 	case KindQueryUndeploy:
 		fmt.Fprintf(&b, " query=%d", e.Query)

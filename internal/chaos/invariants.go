@@ -60,6 +60,14 @@ func (w *World) check() error {
 		}
 	}
 
+	// Each deployed query runs exactly the plan the harness last installed
+	// (via Deploy or Migrate) — migrations must not desync the bookkeeping.
+	for _, qid := range want {
+		if w.rt.DeployedPlan(qid) != w.plans[qid] {
+			return fmt.Errorf("query %d: runtime's deployed plan diverges from the harness's", qid)
+		}
+	}
+
 	// Every advertisement names an operator the runtime actually hosts, on
 	// a live node — planners are never offered dead streams.
 	for _, ad := range w.reg.All() {

@@ -12,8 +12,14 @@ import (
 // started (or found) at source nodes, join operators are created at their
 // assigned nodes — unless an operator with the same signature already
 // runs there, in which case it is reused and merely gains a subscriber —
-// and the root output is subscribed to the query's sink. sourceRate maps
-// base signatures to emission rates; until bounds source lifetimes.
+// and the root output is subscribed to the query's sink. cat maps base
+// streams to emission rates; until bounds source lifetimes.
+//
+// Deploy composes the runtime's three deployment primitives: instantiate
+// (build or reuse the operator tree, taking references), subscribe (wire
+// the root to the sink) and, on teardown, release. Runtime.Migrate
+// composes the same primitives diff-wise to replace a running plan
+// without tearing down what both plans share.
 func (rt *Runtime) Deploy(q *query.Query, plan *query.PlanNode, cat *query.Catalog, until float64) error {
 	if _, ok := rt.deploys[q.ID]; ok {
 		return fmt.Errorf("iflow: query %d already deployed", q.ID)
@@ -22,109 +28,153 @@ func (rt *Runtime) Deploy(q *query.Query, plan *query.PlanNode, cat *query.Catal
 		return fmt.Errorf("iflow: query %d: %w", q.ID, err)
 	}
 	rt.refreshPaths()
-	var held []opKey
-	hold := func(op *Operator) {
-		op.refs++
-		held = append(held, op.key)
-	}
-
-	// instantiate returns the operator producing node n's output.
-	var instantiate func(n *query.PlanNode) (*Operator, error)
-	instantiate = func(n *query.PlanNode) (*Operator, error) {
-		if n.IsLeaf() {
-			if n.In.Derived {
-				op := rt.Operator(n.In.Sig, n.Loc)
-				if op == nil && n.In.BaseSig != "" {
-					// Containment reuse: attach a residual filter at the
-					// producing node, narrowing the weaker stream to this
-					// query's predicates.
-					base := rt.Operator(n.In.BaseSig, n.Loc)
-					if base == nil {
-						return nil, fmt.Errorf("iflow: contained stream %s@%d not deployed", n.In.BaseSig, n.Loc)
-					}
-					pass := 1.0
-					if base.expRate > 0 && n.Rate < base.expRate {
-						pass = n.Rate / base.expRate
-					}
-					key := opKey{sig: n.In.Sig, node: n.Loc}
-					op = &Operator{key: key, isFilter: true, passProb: pass, expRate: n.Rate}
-					rt.ops[key] = op
-					base.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
-				}
-				if op == nil {
-					return nil, fmt.Errorf("iflow: reused stream %s@%d not deployed", n.In.Sig, n.Loc)
-				}
-				hold(op)
-				return op, nil
-			}
-			// Base stream: one tap shared by all queries.
-			op := rt.Operator(n.In.Sig, n.Loc)
-			if op == nil {
-				ids := q.StreamsOf(n.Mask)
-				if len(ids) != 1 {
-					return nil, fmt.Errorf("iflow: base leaf covering %d streams", len(ids))
-				}
-				var err error
-				op, err = rt.StartSource(n.In.Sig, n.Loc, cat.Stream(ids[0]).Rate, until)
-				if err != nil {
-					return nil, err
-				}
-			}
-			hold(op)
-			return op, nil
-		}
-		if n.IsUnary() {
-			child, err := instantiate(n.L)
-			if err != nil {
-				return nil, err
-			}
-			key := opKey{sig: n.Unary.Sig, node: n.Loc}
-			op := rt.ops[key]
-			if op == nil {
-				op = &Operator{
-					key: key, isAgg: true, aggWindow: n.Unary.Agg.Window, expRate: n.Rate,
-				}
-				rt.ops[key] = op
-				child.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
-			}
-			hold(op)
-			return op, nil
-		}
-		l, err := instantiate(n.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := instantiate(n.R)
-		if err != nil {
-			return nil, err
-		}
-		sig := q.SigOf(n.Mask)
-		key := opKey{sig: sig, node: n.Loc}
-		op := rt.ops[key]
-		if op == nil {
-			op = &Operator{key: key, window: rt.cfg.Window, expRate: n.Rate}
-			rt.ops[key] = op
-			l.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
-			r.subscribe(subscription{dst: key, side: rightSide, sink: -1, to: n.Loc})
-		}
-		hold(op)
-		return op, nil
-	}
-
-	root, err := instantiate(plan)
+	inst, err := rt.instantiate(q, plan, cat, until)
 	if err != nil {
-		// Roll back references taken so far and collect any operators this
-		// partial instantiation created that nothing now references.
-		for _, k := range held {
-			rt.ops[k].refs--
-		}
-		rt.gc()
 		return err
 	}
 	rt.sinks[q.ID] = &SinkStats{Node: q.Sink}
-	root.subscribe(subscription{sink: q.ID, to: q.Sink})
-	rt.deploys[q.ID] = held
+	inst.root.subscribe(subscription{sink: q.ID, to: q.Sink})
+	rt.deploys[q.ID] = &deployment{q: q, plan: plan, held: inst.held}
 	return nil
+}
+
+// instantiation records the outcome of building one plan's operator tree:
+// the references taken (one per plan node, post-order), the operators the
+// build newly created (vs reused from running deployments), and the root
+// producer.
+type instantiation struct {
+	held    []opKey
+	created map[opKey]bool
+	root    *Operator
+}
+
+// instantiate builds or reuses the operator tree for a placed plan. An
+// operator with a matching identity (signature, node) that is already
+// running is reused in place — windows, statistics and subscribers
+// untouched; everything else is created and wired to its children. On
+// error every reference taken so far is rolled back and partially created
+// operators are collected: the runtime is exactly as before the call.
+func (rt *Runtime) instantiate(q *query.Query, plan *query.PlanNode, cat *query.Catalog, until float64) (*instantiation, error) {
+	inst := &instantiation{created: map[opKey]bool{}}
+	root, err := rt.instantiateNode(q, plan, cat, until, inst)
+	if err != nil {
+		rt.release(inst.held)
+		return nil, err
+	}
+	inst.root = root
+	return inst, nil
+}
+
+// instantiateNode returns the operator producing node n's output, taking
+// one reference on it.
+func (rt *Runtime) instantiateNode(q *query.Query, n *query.PlanNode, cat *query.Catalog, until float64, inst *instantiation) (*Operator, error) {
+	hold := func(op *Operator) *Operator {
+		op.refs++
+		inst.held = append(inst.held, op.key)
+		return op
+	}
+	if n.IsLeaf() {
+		if n.In.Derived {
+			op := rt.Operator(n.In.Sig, n.Loc)
+			if op == nil && n.In.BaseSig != "" {
+				// Containment reuse: attach a residual filter at the
+				// producing node, narrowing the weaker stream to this
+				// query's predicates.
+				base := rt.Operator(n.In.BaseSig, n.Loc)
+				if base == nil {
+					return nil, fmt.Errorf("iflow: contained stream %s@%d not deployed", n.In.BaseSig, n.Loc)
+				}
+				key := opKey{sig: n.In.Sig, node: n.Loc}
+				op = &Operator{key: key, isFilter: true, passProb: residualPassProb(n.Rate, base.expRate), expRate: n.Rate}
+				rt.ops[key] = op
+				inst.created[key] = true
+				base.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
+			}
+			if op == nil {
+				return nil, fmt.Errorf("iflow: reused stream %s@%d not deployed", n.In.Sig, n.Loc)
+			}
+			return hold(op), nil
+		}
+		// Base stream: one tap shared by all queries.
+		op := rt.Operator(n.In.Sig, n.Loc)
+		if op == nil {
+			ids := q.StreamsOf(n.Mask)
+			if len(ids) != 1 {
+				return nil, fmt.Errorf("iflow: base leaf covering %d streams", len(ids))
+			}
+			var err error
+			op, err = rt.StartSource(n.In.Sig, n.Loc, cat.Stream(ids[0]).Rate, until)
+			if err != nil {
+				return nil, err
+			}
+			inst.created[op.key] = true
+		}
+		return hold(op), nil
+	}
+	if n.IsUnary() {
+		child, err := rt.instantiateNode(q, n.L, cat, until, inst)
+		if err != nil {
+			return nil, err
+		}
+		key := opKey{sig: n.Unary.Sig, node: n.Loc}
+		op := rt.ops[key]
+		if op == nil {
+			op = &Operator{
+				key: key, isAgg: true, aggWindow: n.Unary.Agg.Window, expRate: n.Rate,
+			}
+			rt.ops[key] = op
+			inst.created[key] = true
+			child.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
+		}
+		return hold(op), nil
+	}
+	l, err := rt.instantiateNode(q, n.L, cat, until, inst)
+	if err != nil {
+		return nil, err
+	}
+	r, err := rt.instantiateNode(q, n.R, cat, until, inst)
+	if err != nil {
+		return nil, err
+	}
+	sig := q.SigOf(n.Mask)
+	key := opKey{sig: sig, node: n.Loc}
+	op := rt.ops[key]
+	if op == nil {
+		op = &Operator{key: key, window: rt.cfg.Window, expRate: n.Rate}
+		rt.ops[key] = op
+		inst.created[key] = true
+		l.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
+		r.subscribe(subscription{dst: key, side: rightSide, sink: -1, to: n.Loc})
+	}
+	return hold(op), nil
+}
+
+// release drops one reference per held key (nil-safe for operators a node
+// failure already removed) and garbage-collects everything no deployment
+// references and nothing subscribes to.
+func (rt *Runtime) release(held []opKey) {
+	for _, k := range held {
+		if op := rt.ops[k]; op != nil {
+			op.refs--
+		}
+	}
+	rt.gc()
+}
+
+// residualPassProb returns the probability a containment residual filter
+// passes an upstream tuple: the narrowed rate over the base stream's
+// expected rate. The degenerate edges are explicit rather than silent —
+// an uncalibrated base (expected rate <= 0) or a "narrowed" rate at or
+// above the base mean the filter cannot narrow anything, so it passes
+// everything; a non-positive narrowed rate passes nothing.
+func residualPassProb(narrowed, base float64) float64 {
+	if base <= 0 || narrowed >= base {
+		return 1
+	}
+	if narrowed <= 0 {
+		return 0
+	}
+	return narrowed / base
 }
 
 // subscribe adds a subscription unless an identical one exists (reuse by
@@ -151,21 +201,16 @@ func (op *Operator) unsubscribe(s subscription) {
 // operators no longer referenced by any deployment are removed, together
 // with their upstream subscriptions. Base taps persist while referenced.
 func (rt *Runtime) Undeploy(queryID int) error {
-	held, ok := rt.deploys[queryID]
+	dep, ok := rt.deploys[queryID]
 	if !ok {
 		return fmt.Errorf("iflow: query %d not deployed", queryID)
-	}
-	for _, k := range held {
-		if op := rt.ops[k]; op != nil {
-			op.refs--
-		}
 	}
 	// Remove the sink subscription.
 	for _, op := range rt.ops {
 		op.unsubscribe(subscription{sink: queryID, to: rt.sinks[queryID].Node})
 	}
 	delete(rt.deploys, queryID)
-	rt.gc()
+	rt.release(dep.held)
 	return nil
 }
 

@@ -34,7 +34,11 @@ func (rt *Runtime) FailNode(v netgraph.NodeID) []int {
 	if len(dead) == 0 && len(affected) == 0 {
 		return nil
 	}
-	// Drop subscriptions into dead operators.
+	// Drop subscriptions into dead operators, then collect chains the
+	// crash orphaned: an operator kept alive only by a subscriber on the
+	// failed node (refs == 0 — e.g. the upstream chain of a reused stream
+	// whose producing query was already undeployed) has no references and,
+	// now, no subscribers, and must not outlive its consumer.
 	for _, op := range rt.ops {
 		kept := op.subs[:0]
 		for _, s := range op.subs {
@@ -45,8 +49,9 @@ func (rt *Runtime) FailNode(v netgraph.NodeID) []int {
 		}
 		op.subs = kept
 	}
-	for qid, held := range rt.deploys {
-		for _, k := range held {
+	rt.gc()
+	for qid, dep := range rt.deploys {
+		for _, k := range dep.held {
 			if dead[k] {
 				affected[qid] = true
 			}

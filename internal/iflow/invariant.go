@@ -99,7 +99,10 @@ func (rt *Runtime) CheckInvariants(liveNode func(netgraph.NodeID) bool) error {
 		if rt.sinks[qid] == nil {
 			return fmt.Errorf("iflow: deployed query %d has no sink stats", qid)
 		}
-		for _, k := range rt.deploys[qid] {
+		if rt.deploys[qid].plan == nil {
+			return fmt.Errorf("iflow: deployed query %d records no plan", qid)
+		}
+		for _, k := range rt.deploys[qid].held {
 			if rt.ops[k] == nil {
 				return fmt.Errorf("iflow: query %d holds missing operator %s@%d", qid, k.sig, k.node)
 			}

@@ -1,0 +1,214 @@
+package iflow
+
+import (
+	"fmt"
+
+	"hnp/internal/query"
+)
+
+// MigrationReport quantifies one diff-based plan migration.
+type MigrationReport struct {
+	// Kept counts operators shared by the old and new plan: they kept
+	// running through the migration — windows, statistics and
+	// subscribers intact.
+	Kept int
+	// Created counts operators the migration newly instantiated.
+	Created int
+	// Retired counts operators the migration removed from the runtime:
+	// old operators released and collected, including upstream chains
+	// that lost their last subscriber. Operators other deployments still
+	// use are not retired, only released.
+	Retired int
+	// Moved counts logical operators present in both plans at different
+	// nodes — physically a create+retire pair, reported separately
+	// because their accumulated state could not be carried.
+	Moved int
+	// Rewired counts kept operators whose upstream producers changed
+	// (typically because a child moved).
+	Rewired int
+	// StateCarried counts tuples buffered in kept operators' join
+	// windows and aggregation accumulators at migration time — state a
+	// full teardown would have destroyed.
+	StateCarried int64
+	// BytesSaved is the size of that carried state in cost units.
+	BytesSaved float64
+	// TeardownOps is the operator churn of the teardown path this
+	// migration replaced: every old plan operator torn down plus every
+	// new plan operator instantiated.
+	TeardownOps int
+}
+
+// Delta returns the operator churn the migration actually cost: creates
+// plus retires. Delta < TeardownOps is the point of migrating.
+func (m MigrationReport) Delta() int { return m.Created + m.Retired }
+
+// String renders the report for traces and logs.
+func (m MigrationReport) String() string {
+	return fmt.Sprintf("kept=%d created=%d retired=%d moved=%d rewired=%d carried=%d tuples (%.0f bytes; teardown churns %d ops)",
+		m.Kept, m.Created, m.Retired, m.Moved, m.Rewired, m.StateCarried, m.BytesSaved, m.TeardownOps)
+}
+
+// Migrate replaces a deployed query's plan by applying the diff between
+// the running plan and the new one, transactionally:
+//
+//   - operators present in both plans (same canonical identity — see
+//     query.Diff) keep running in place: their join windows, output
+//     statistics and downstream subscribers survive, so shared-signature
+//     operators and base-stream taps never flap;
+//   - only the changed subtrees are instantiated, and only the operators
+//     the old plan alone used are retired;
+//   - kept operators whose children moved are rewired to their new
+//     producers;
+//   - the query's sink statistics object is untouched — counters carry
+//     across the migration natively;
+//   - instantiation is the only fallible phase and it precedes every
+//     mutation of the old deployment: any error rolls the partial build
+//     back and leaves the old plan running exactly as before.
+//
+// The query's sink cannot move (a query's sink is part of its identity);
+// use Undeploy+Deploy for that. It returns a report of what the diff
+// preserved and churned.
+func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Catalog, until float64) (MigrationReport, error) {
+	var rep MigrationReport
+	dep, ok := rt.deploys[q.ID]
+	if !ok {
+		return rep, fmt.Errorf("iflow: query %d not deployed", q.ID)
+	}
+	if err := plan.Validate(); err != nil {
+		return rep, fmt.Errorf("iflow: query %d: %w", q.ID, err)
+	}
+	sink := rt.sinks[q.ID]
+	if q.Sink != sink.Node {
+		return rep, fmt.Errorf("iflow: query %d migration cannot move the sink (%d -> %d)", q.ID, sink.Node, q.Sink)
+	}
+	rt.refreshPaths()
+
+	// Flatten each plan exactly once: the deployed side's IR is cached on
+	// the deployment (built lazily the first time it migrates), the new
+	// side's is computed here and becomes the cache after the swap.
+	if dep.ir == nil {
+		dep.ir = q.IR(dep.plan)
+	}
+	oldIR, newIR := dep.ir, q.IR(plan)
+	diff := query.DiffIR(oldIR, newIR)
+	opsBefore := len(rt.ops)
+
+	// Phase 1 — instantiate. The new plan is built while the old one
+	// keeps running, so shared-identity operators are reused in place and
+	// only changed subtrees allocate anything. This is the only fallible
+	// phase: on error the partial build is rolled back and the old
+	// deployment is untouched.
+	inst, err := rt.instantiate(q, plan, cat, until)
+	if err != nil {
+		return rep, err
+	}
+
+	// Measure the state the diff carried, before anything is retired.
+	newSet := make(map[opKey]bool, len(inst.held))
+	for _, k := range inst.held {
+		newSet[k] = true
+	}
+	for _, k := range dep.held {
+		if !newSet[k] {
+			continue
+		}
+		op := rt.ops[k]
+		if op == nil {
+			continue
+		}
+		for _, t := range op.left {
+			rep.StateCarried++
+			rep.BytesSaved += t.Size
+		}
+		for _, t := range op.right {
+			rep.StateCarried++
+			rep.BytesSaved += t.Size
+		}
+		if op.isAgg && op.aggCount > 0 {
+			rep.StateCarried++
+			rep.BytesSaved += rt.cfg.TupleSize
+		}
+	}
+
+	// Phase 2 — rewire. Kept operators whose producer set changed get the
+	// new producers subscribed and the stale ones detached. Newly created
+	// consumers were wired at instantiation; retired producers lose their
+	// remaining subscriptions when collected.
+	rep.Rewired = rt.rewire(oldIR, newIR)
+
+	// Phase 3 — swap the sink subscription to the new root, unless the
+	// root identity survived (then its existing subscription stands). The
+	// SinkStats object is never touched: delivery counters carry over.
+	// Post-order IR puts the root last.
+	if oldIR[len(oldIR)-1].Ref != newIR[len(newIR)-1].Ref {
+		for _, op := range rt.ops {
+			op.unsubscribe(subscription{sink: q.ID, to: sink.Node})
+		}
+		inst.root.subscribe(subscription{sink: q.ID, to: sink.Node})
+	}
+
+	// Phase 4 — retire. The old references are dropped and operators no
+	// deployment references and nothing subscribes to are collected,
+	// cascading up chains that lost their last subscriber.
+	oldHeld := dep.held
+	dep.plan, dep.ir, dep.held = plan, newIR, inst.held
+	rt.release(oldHeld)
+
+	rep.Kept = len(diff.Keep)
+	rep.Created = len(inst.created)
+	rep.Retired = opsBefore + len(inst.created) - len(rt.ops)
+	rep.Moved = len(diff.Move)
+	rep.TeardownOps = len(oldHeld) + len(inst.held)
+
+	rt.obsMigrations.Inc()
+	rt.obsMigKept.Add(int64(rep.Kept))
+	rt.obsMigCreated.Add(int64(rep.Created))
+	rt.obsMigRetired.Add(int64(rep.Retired))
+	rt.obsMigMoved.Add(int64(rep.Moved))
+	rt.obsMigBytesSaved.Add(rep.BytesSaved)
+	return rep, nil
+}
+
+// rewire aligns kept operators' upstream wiring with the new plan: for
+// every operator computed by both plans, producers the new plan adds are
+// subscribed and producers only the old plan used are detached. Operators
+// either plan consumes as a leaf keep the wiring their producing
+// deployment gave them (the leaf does not own it). It returns the number
+// of operators whose wiring changed.
+func (rt *Runtime) rewire(oldIR, newIR []query.IROp) int {
+	oldByRef := make(map[query.OpRef]query.IROp, len(oldIR))
+	for _, op := range oldIR {
+		oldByRef[op.Ref] = op
+	}
+	rewired := 0
+	for _, nop := range newIR { // post-order: deterministic wiring order
+		oop, kept := oldByRef[nop.Ref]
+		if !kept || nop.Leaf || oop.Leaf {
+			continue
+		}
+		ck := opKey{sig: nop.Ref.Sig, node: nop.Ref.Loc}
+		changed := false
+		for i, in := range nop.Inputs {
+			if i < len(oop.Inputs) && oop.Inputs[i] == in {
+				continue
+			}
+			changed = true
+			if p := rt.ops[opKey{sig: in.Sig, node: in.Loc}]; p != nil {
+				p.subscribe(subscription{dst: ck, side: side(i), sink: -1, to: nop.Ref.Loc})
+			}
+		}
+		for i, in := range oop.Inputs {
+			if i < len(nop.Inputs) && nop.Inputs[i] == in {
+				continue
+			}
+			changed = true
+			if p := rt.ops[opKey{sig: in.Sig, node: in.Loc}]; p != nil {
+				p.unsubscribe(subscription{dst: ck, side: side(i), sink: -1, to: nop.Ref.Loc})
+			}
+		}
+		if changed {
+			rewired++
+		}
+	}
+	return rewired
+}

@@ -14,6 +14,7 @@ import (
 	"hnp/internal/des"
 	"hnp/internal/netgraph"
 	"hnp/internal/obs"
+	"hnp/internal/query"
 )
 
 // Tuple is one data item on a stream.
@@ -150,7 +151,7 @@ type Runtime struct {
 
 	ops     map[opKey]*Operator
 	sinks   map[int]*SinkStats
-	deploys map[int][]opKey // per query: operators it holds references on
+	deploys map[int]*deployment
 
 	// TotalCost is the accumulated bytes×link-cost of all transfers; the
 	// deployed cost per unit time is TotalCost / elapsed time.
@@ -183,17 +184,46 @@ type Runtime struct {
 	obsDropped     *obs.Counter
 	obsExpired     *obs.Counter
 	obsCost        *obs.Gauge
+
+	// Migration telemetry (see Migrate).
+	obsMigrations    *obs.Counter
+	obsMigKept       *obs.Counter
+	obsMigCreated    *obs.Counter
+	obsMigRetired    *obs.Counter
+	obsMigMoved      *obs.Counter
+	obsMigBytesSaved *obs.Gauge
+}
+
+// deployment records one query's hold on the runtime: the query, the
+// placed plan it currently runs (the old side of the next migration
+// diff), and the operators it references.
+type deployment struct {
+	q    *query.Query
+	plan *query.PlanNode
+	held []opKey
+	// ir caches the running plan's canonical IR so successive migrations
+	// flatten only the incoming plan, not the deployed one again. Built
+	// lazily on the first migration (Deploy never needs it).
+	ir []query.IROp
 }
 
 // BindObs connects the runtime to a telemetry registry: transport counts
 // ("iflow.tuples_transferred", "iflow.tuples_dropped",
-// "iflow.window_expired" counters) and the accumulated bytes×cost
-// ("iflow.bytes_cost" gauge) are recorded there.
+// "iflow.window_expired" counters), the accumulated bytes×cost
+// ("iflow.bytes_cost" gauge), and migration activity ("iflow.migrations"
+// plus the per-action "iflow.migrate_ops_*" counters and the cumulative
+// "iflow.migrate_bytes_saved" gauge) are recorded there.
 func (rt *Runtime) BindObs(reg *obs.Registry) {
 	rt.obsTransferred = reg.Counter("iflow.tuples_transferred")
 	rt.obsDropped = reg.Counter("iflow.tuples_dropped")
 	rt.obsExpired = reg.Counter("iflow.window_expired")
 	rt.obsCost = reg.Gauge("iflow.bytes_cost")
+	rt.obsMigrations = reg.Counter("iflow.migrations")
+	rt.obsMigKept = reg.Counter("iflow.migrate_ops_kept")
+	rt.obsMigCreated = reg.Counter("iflow.migrate_ops_created")
+	rt.obsMigRetired = reg.Counter("iflow.migrate_ops_retired")
+	rt.obsMigMoved = reg.Counter("iflow.migrate_ops_moved")
+	rt.obsMigBytesSaved = reg.Gauge("iflow.migrate_bytes_saved")
 }
 
 // New builds a runtime over a network. Streams route along cost-shortest
@@ -208,7 +238,7 @@ func New(g *netgraph.Graph, cfg Config, seed int64) *Runtime {
 		rng:     rand.New(rand.NewSource(seed)),
 		ops:     map[opKey]*Operator{},
 		sinks:   map[int]*SinkStats{},
-		deploys: map[int][]opKey{},
+		deploys: map[int]*deployment{},
 	}
 }
 
@@ -380,6 +410,16 @@ func (rt *Runtime) NumOperators() int { return len(rt.ops) }
 
 // Sink returns the delivery statistics for a query (nil before Deploy).
 func (rt *Runtime) Sink(queryID int) *SinkStats { return rt.sinks[queryID] }
+
+// DeployedPlan returns the plan a deployed query currently runs, or nil
+// when the query is not deployed. It is the old side of the diff the next
+// Migrate computes.
+func (rt *Runtime) DeployedPlan(queryID int) *query.PlanNode {
+	if dep := rt.deploys[queryID]; dep != nil {
+		return dep.plan
+	}
+	return nil
+}
 
 // RunFor advances the simulation by d seconds of virtual time.
 func (rt *Runtime) RunFor(d float64) { rt.Sim.RunUntil(rt.Sim.Now() + d) }
