@@ -4,8 +4,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"hnp/internal/adapt"
 	"hnp/internal/ads"
 	"hnp/internal/baseline"
+	"hnp/internal/chaos"
 	"hnp/internal/core"
 	costpkg "hnp/internal/cost"
 	"hnp/internal/exp"
@@ -496,6 +498,98 @@ func BenchmarkMigrate(b *testing.B) {
 			churn += torn + rt.NumOperators()
 		}
 		b.ReportMetric(float64(churn)/float64(b.N), "ops-churned/op")
+	})
+}
+
+// BenchmarkAdaptControl measures the closed-loop re-optimization
+// controller. "step" is the per-interval overhead of one control step on
+// a live deployment — windowed drift measurement, catalog calibration,
+// re-plan, diff, and the marginal byte-gain prediction — with migration
+// disabled so the runtime stays fixed and every iteration pays the full
+// decision path. "compare" replays the pinned chaos rate-shift seed under
+// all three policies and reports the controller's byte totals relative to
+// the never-migrate and always-remigrate baselines (below 1.0 means the
+// controller wins; these ratios are hardware-independent, so a regression
+// is real on any machine).
+func BenchmarkAdaptControl(b *testing.B) {
+	b.Run("step", func(b *testing.B) {
+		g, cat, q, planA, planB := migratePlans()
+		const until = 1e9
+		rt := iflow.New(g, iflow.DefaultConfig(), 1)
+		if err := rt.Deploy(q, planA, cat, until); err != nil {
+			b.Fatal(err)
+		}
+		cfg := adapt.DefaultConfig()
+		cfg.Mode = adapt.ModeNever // full predict path, no runtime mutation
+		cfg.DriftThreshold = 1e-9  // Poisson noise clears the drift gate
+		ctl := adapt.New(rt, cat, func(*query.Query) (*query.PlanNode, error) {
+			return planB, nil
+		}, cfg)
+		ctl.Track(q, planA)
+		rt.RunFor(5)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rt.RunFor(1) // advance virtual time so the window is non-empty
+			b.StartTimer()
+			ctl.Step()
+		}
+	})
+	b.Run("compare", func(b *testing.B) {
+		var vsNever, vsAlways, migs float64
+		for i := 0; i < b.N; i++ {
+			out, err := chaos.CompareAdaptPolicies(chaos.RateShiftConfig(3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			never, always, ctl := out[0], out[1], out[2]
+			if ctl.Report.Oscillations != 0 {
+				b.Fatalf("controller oscillated %d times", ctl.Report.Oscillations)
+			}
+			vsNever += ctl.Bytes() / never.Bytes()
+			vsAlways += ctl.Bytes() / always.Bytes()
+			migs += float64(ctl.Report.Adapt.Migrations)
+		}
+		b.ReportMetric(vsNever/float64(b.N), "bytes-vs-never")
+		b.ReportMetric(vsAlways/float64(b.N), "bytes-vs-always")
+		b.ReportMetric(migs/float64(b.N), "migrations/op")
+	})
+}
+
+// BenchmarkLinkCostBatch contrasts a burst of link repricings applied one
+// UpdateLinkCost at a time (all-pairs path recompute per link) against one
+// batched UpdateLinkCosts call (single recompute at the end) on a 128-node
+// network. The batch turns N recomputes into one; chaos link-drift and the
+// adaptive controller both reprice in bursts, so this is the win they see.
+func BenchmarkLinkCostBatch(b *testing.B) {
+	const burst = 8
+	rng := rand.New(rand.NewSource(12))
+	g := netgraph.MustTransitStub(128, rng)
+	links := g.Links()[:burst]
+	b.Run("single", func(b *testing.B) {
+		rt := iflow.New(g, iflow.DefaultConfig(), 1)
+		for i := 0; i < b.N; i++ {
+			scale := 1.0 + float64(i%2) // alternate so costs never drift off
+			for _, l := range links {
+				if err := rt.UpdateLinkCost(l.A, l.B, l.Cost*scale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		rt := iflow.New(g, iflow.DefaultConfig(), 1)
+		batch := make([]iflow.LinkCostUpdate, burst)
+		for i := 0; i < b.N; i++ {
+			scale := 1.0 + float64(i%2)
+			for j, l := range links {
+				batch[j] = iflow.LinkCostUpdate{A: l.A, B: l.B, Cost: l.Cost * scale}
+			}
+			if err := rt.UpdateLinkCosts(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

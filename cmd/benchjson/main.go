@@ -4,8 +4,9 @@
 //
 // The workloads are seeded identically on every run (and identical to the
 // corresponding go-test benchmarks: BenchmarkSolveK4/K6, BenchmarkDeploy,
-// BenchmarkAPSP, BenchmarkMigrate), so the measured code path is
-// reproducible; only the wall-clock figures move with the hardware. CI
+// BenchmarkAPSP, BenchmarkMigrate, BenchmarkAdaptControl), so the
+// measured code path is reproducible; only the wall-clock figures move
+// with the hardware. CI
 // runs it with short iterations and uploads the artifact:
 //
 //	go run ./cmd/benchjson -benchtime 10x -o BENCH_planner.json
@@ -25,7 +26,9 @@ import (
 	"testing"
 
 	"hnp"
+	"hnp/internal/adapt"
 	"hnp/internal/baseline"
+	"hnp/internal/chaos"
 	"hnp/internal/core"
 	costpkg "hnp/internal/cost"
 	"hnp/internal/iflow"
@@ -48,6 +51,13 @@ type benchResult struct {
 	// with each (0 where the notion doesn't apply). Like allocs_per_op it
 	// is hardware-independent: a churn regression is real on any machine.
 	OpsChurnedPerOp float64 `json:"ops_churned_per_op,omitempty"`
+	// BytesVsNever / BytesVsAlways are the adaptive controller's total
+	// transport bytes on the pinned chaos rate-shift seed relative to the
+	// never-migrate and always-remigrate baselines (below 1.0 means the
+	// controller wins; 0 where the notion doesn't apply). Also
+	// hardware-independent: a ratio regression is real on any machine.
+	BytesVsNever  float64 `json:"bytes_vs_never,omitempty"`
+	BytesVsAlways float64 `json:"bytes_vs_always,omitempty"`
 }
 
 type trajectory struct {
@@ -302,6 +312,74 @@ func main() {
 			churnPerOp = float64(churn) / float64(b.N)
 		})
 		traj.Benchmarks[len(traj.Benchmarks)-1].OpsChurnedPerOp = churnPerOp
+	}
+
+	// AdaptStep: one closed-loop control interval on a live deployment —
+	// windowed drift measurement, calibration, re-plan, diff and marginal
+	// byte-gain prediction — with migration disabled so every iteration
+	// pays the full decision path (mirrors BenchmarkAdaptControl/step).
+	{
+		g, cat, q, planA, planB := migratePlans()
+		const until = 1e9
+		rt := iflow.New(g, iflow.DefaultConfig(), 1)
+		if err := rt.Deploy(q, planA, cat, until); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		acfg := adapt.DefaultConfig()
+		acfg.Mode = adapt.ModeNever
+		acfg.DriftThreshold = 1e-9
+		ctl := adapt.New(rt, cat, func(*query.Query) (*query.PlanNode, error) {
+			return planB, nil
+		}, acfg)
+		ctl.Track(q, planA)
+		rt.RunFor(5)
+		measure(&traj.Benchmarks, "AdaptStep", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rt.RunFor(1)
+				b.StartTimer()
+				ctl.Step()
+			}
+		})
+	}
+
+	// AdaptControl: the pinned chaos rate-shift seed replayed under
+	// never-migrate, always-remigrate and the gated controller; the
+	// recorded ratios are the controller's byte totals against each
+	// baseline (mirrors BenchmarkAdaptControl/compare).
+	// One iteration suffices: the comparison is seed-deterministic, so
+	// every repeat reproduces the identical ratios — only wall-clock
+	// (which nobody tracks here) would accumulate.
+	{
+		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var vsNever, vsAlways float64
+		iters := 0
+		measure(&traj.Benchmarks, "AdaptControl", 0, func(b *testing.B) {
+			vsNever, vsAlways, iters = 0, 0, 0
+			for i := 0; i < b.N; i++ {
+				out, err := chaos.CompareAdaptPolicies(chaos.RateShiftConfig(3))
+				if err != nil {
+					b.Fatal(err)
+				}
+				never, always, ctl := out[0], out[1], out[2]
+				if ctl.Report.Oscillations != 0 {
+					b.Fatalf("controller oscillated %d times", ctl.Report.Oscillations)
+				}
+				vsNever += ctl.Bytes() / never.Bytes()
+				vsAlways += ctl.Bytes() / always.Bytes()
+				iters++
+			}
+		})
+		last := &traj.Benchmarks[len(traj.Benchmarks)-1]
+		if iters > 0 {
+			last.BytesVsNever = vsNever / float64(iters)
+			last.BytesVsAlways = vsAlways / float64(iters)
+		}
 	}
 
 	buf, err := json.MarshalIndent(traj, "", "  ")

@@ -9,11 +9,20 @@
 //	$ go run ./cmd/chaos -seeds 20 -events 200
 //	$ go run ./cmd/chaos -migrate -seeds 10 -events 300
 //	$ go run ./cmd/chaos -seed0 42 -seeds 1 -events 500 -v
+//	$ go run ./cmd/chaos -adapt -seed0 3 -seeds 1
 //
 // With -migrate the schedule also re-plans deployed queries and applies
 // the fresh plans as diff-based migrations (iflow.Migrate): shared
 // operators keep running, only changed subtrees churn, and the invariants
 // additionally police sink-statistic carry-over across migrations.
+//
+// With -adapt each seed switches to the rate-shift profile and runs the
+// closed-loop re-optimization comparison: the same event schedule is
+// replayed under never-migrate, always-remigrate, and the gated
+// controller, printing total bytes for each. A controller oscillation
+// (A→B→A plan flap) or an invariant violation fails the run; with
+// -strict the controller must also strictly beat both baselines on
+// bytes, which holds on the pinned validation seeds (3, 6, 8, 9).
 //
 // A violation prints the offending seed and its full replayable event
 // trace and exits non-zero; re-running with -seed0 <seed> -seeds 1
@@ -40,9 +49,15 @@ func main() {
 		queries = flag.Int("queries", 10, "query pool size")
 		step    = flag.Float64("step", 0.4, "mean virtual seconds between events")
 		migrate = flag.Bool("migrate", false, "add plan-migration churn: deployed queries are re-planned and diff-migrated in place")
+		adapt   = flag.Bool("adapt", false, "run the rate-shift adaptation comparison: never-migrate vs always-remigrate vs gated controller on a shared schedule")
+		strict  = flag.Bool("strict", false, "with -adapt, fail unless the controller strictly beats both baselines on total bytes")
 		verbose = flag.Bool("v", false, "print every run's event trace")
 	)
 	flag.Parse()
+
+	if *adapt {
+		os.Exit(runAdapt(*seed0, *seeds, *strict))
+	}
 
 	failures := 0
 	for i := 0; i < *seeds; i++ {
@@ -78,6 +93,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d/%d seeds violated invariants\n", failures, *seeds)
 		os.Exit(1)
 	}
+}
+
+// runAdapt replays each seed's rate-shift schedule under the three
+// migration policies and reports the byte totals side by side. Returns
+// the process exit code: non-zero on invariant violations, controller
+// oscillation, or (with strict) a failure to beat either baseline.
+func runAdapt(seed0 int64, seeds int, strict bool) int {
+	failures := 0
+	for i := 0; i < seeds; i++ {
+		cfg := chaos.RateShiftConfig(seed0 + int64(i))
+		out, err := chaos.CompareAdaptPolicies(cfg)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", cfg.Seed, err)
+			continue
+		}
+		never, always, ctl := out[0], out[1], out[2]
+		verdict := "ok"
+		switch {
+		case ctl.Report.Oscillations != 0:
+			verdict = "OSCILLATED"
+			failures++
+		case ctl.Bytes() < never.Bytes() && ctl.Bytes() < always.Bytes():
+			verdict = "win"
+		default:
+			verdict = "no-win"
+			if strict {
+				failures++
+			}
+		}
+		fmt.Printf("seed %-4d %-10s never=%.0f always=%.0f controller=%.0f migrations=%d suppressed=%d\n",
+			cfg.Seed, verdict, never.Bytes(), always.Bytes(), ctl.Bytes(),
+			ctl.Report.Adapt.Migrations, ctl.Report.Adapt.Suppressed())
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d adapt seeds failed\n", failures, seeds)
+		return 1
+	}
+	return 0
 }
 
 func countString(counts map[string]int) string {

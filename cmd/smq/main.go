@@ -23,8 +23,10 @@
 // candidates offered, candidates examined, local search time, chosen cost
 // — then runs the chosen plan in the IFLOW runtime, shifts a stream rate
 // mid-flight and applies the re-planned tree as a diff-based live
-// migration (printing what it kept, churned and carried), followed by the
-// telemetry snapshot, and exits.
+// migration (printing what it kept, churned and carried), hands the
+// deployment to the closed-loop adaptation controller for the rest of
+// the horizon (printing each gate decision and migration it makes),
+// followed by the telemetry snapshot, and exits.
 //
 // -debug-addr serves expvar (/debug/vars, including the process-wide
 // telemetry under "hnp"), pprof (/debug/pprof/) and a JSON telemetry
@@ -43,9 +45,11 @@ import (
 	"time"
 
 	"hnp"
+	"hnp/internal/adapt"
 	"hnp/internal/exp"
 	"hnp/internal/iflow"
 	"hnp/internal/obs"
+	"hnp/internal/query"
 )
 
 func main() {
@@ -217,6 +221,38 @@ func runExplain(seed int64) error {
 	}
 	fmt.Printf("\n=== live migration at t=30s: CHECKINS collapses to 0.5 tuples/s, replan and diff ===\n")
 	fmt.Printf("old: %s\nnew: %s\n%s\n", td.Plan, fresh.Plan, rep)
+
+	// Closed-loop section: the same kind of drift, handled by the
+	// adaptive controller instead of an operator at a keyboard. The
+	// catalog now claims CHECKINS runs at 0.5 tuples/s while the live tap
+	// still emits 30/s — exactly the observed-vs-assumed gap the
+	// controller watches. Hand it the deployment and the rest of the
+	// horizon: each control interval it measures windowed rates,
+	// recalibrates the catalog, re-plans past the drift gate, and weighs
+	// the predicted marginal byte gain against migration churn before
+	// touching anything.
+	ctl := adapt.New(rt, sys.Catalog, func(q *query.Query) (*query.PlanNode, error) {
+		d, err := sys.Plan([]hnp.StreamID{a, b, c}, 9, hnp.AlgoTopDown)
+		if err != nil {
+			return nil, err
+		}
+		return d.Plan, nil
+	}, adapt.DefaultConfig())
+	ctl.BindObs(sys.Obs)
+	ctl.Track(td.Query, fresh.Plan)
+	ctl.OnMigrate = func(q *query.Query, old, new *query.PlanNode, mrep iflow.MigrationReport) {
+		fmt.Printf("t=%-3.0fs controller migrated q%d: %s -> %s\n       %s\n",
+			rt.Sim.Now(), q.ID, old, new, mrep)
+	}
+	fmt.Printf("\n=== closed-loop controller takes over, t=30..%.0fs ===\n", horizon)
+	ctl.Run(horizon)
+	rt.RunFor(horizon - rt.Sim.Now())
+	st := ctl.Stats()
+	fmt.Printf("checks=%d replans=%d migrations=%d suppressed=%d (deadband=%d hysteresis=%d cooldown=%d revert=%d)\n",
+		st.Checks, st.Replans, st.Migrations, st.Suppressed(),
+		st.SuppressedDeadband, st.SuppressedHysteresis, st.SuppressedCooldown, st.SuppressedRevert)
+	fmt.Printf("predicted savings %.0f bytes/s; final plan %s\n",
+		st.PredictedSavings, ctl.Plan(td.Query.ID))
 
 	fmt.Println("\n=== telemetry snapshot ===")
 	return obs.TextSink{W: os.Stdout}.Emit(sys.Snapshot())

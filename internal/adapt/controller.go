@@ -1,0 +1,778 @@
+// Package adapt closes the paper's re-optimization loop: "changes in
+// stream rates ... may render the deployed network sub-optimal, and the
+// middleware layer may decide to re-optimize". A Controller watches each
+// deployed query's observed stream rates against the catalog the planner
+// assumed, recalibrates the catalog from windowed runtime measurements,
+// re-costs the running plan under the calibrated statistics, and triggers
+// the runtime's incremental Migrate only when the predicted savings beat
+// a churn-cost hysteresis derived from the measured cost of migrating.
+//
+// The decision chain per query and control interval:
+//
+//	drift gate      — skip quiescent queries: no stream drifted past
+//	                  DriftThreshold, the network graph is unchanged, and
+//	                  no suppressed candidate is pending. (Calibration
+//	                  erases drift — once the catalog tracks the observed
+//	                  rates a stale plan stops drifting without getting
+//	                  fixed, so a candidate the later gates suppressed
+//	                  stays hot until it either migrates or stops paying.)
+//	re-cost         — both the running plan and a fresh optimization are
+//	                  evaluated under the same calibrated rate table: cost
+//	                  (CostWith, the paper's rate×distance objective) and
+//	                  transport byte rate (BytesWith, bytes crossing links
+//	                  per second — the metric migrations are judged by,
+//	                  since shipped state is paid in bytes too).
+//	deadband        — relative byte gains below MinRelGain are noise.
+//	hysteresis      — predicted byte savings over Horizon seconds must
+//	                  exceed Hysteresis × (ops churned × per-op shipped
+//	                  bytes); the per-op estimate is an EWMA of
+//	                  BytesShipped/Delta over this controller's own
+//	                  migrations, floored at the PerOpShipBytes seed.
+//	cooldown        — at most one migration per query per Cooldown.
+//	revert holdoff  — a plan we just migrated away from cannot return
+//	                  within RevertHoldoff: A→B→A flapping is structurally
+//	                  impossible inside the holdoff window.
+//
+// The Never and Always modes keep every measurement and re-planning step
+// (equal overhead, equal rng consumption) but pin the migration decision
+// to "never" / "whenever the fresh plan differs" — the two baselines the
+// controller is validated against in the chaos harness.
+package adapt
+
+import (
+	"math"
+
+	"hnp/internal/iflow"
+	"hnp/internal/netgraph"
+	"hnp/internal/obs"
+	"hnp/internal/query"
+)
+
+// Mode selects the migration policy; measurement and re-planning are
+// identical across modes so baseline comparisons isolate the decision.
+type Mode int
+
+const (
+	// ModeController applies the full gate chain (the real policy).
+	ModeController Mode = iota
+	// ModeNever measures and re-plans but never migrates.
+	ModeNever
+	// ModeAlways migrates whenever the fresh plan differs from the
+	// running one, with no gates — the churn-blind baseline.
+	ModeAlways
+)
+
+// Config tunes the controller. DefaultConfig documents each knob's
+// rationale; zero values are replaced by defaults in New.
+type Config struct {
+	// Interval is the control period in virtual seconds.
+	Interval float64
+	// DriftThreshold is the relative observed-vs-assumed rate drift above
+	// which a query is re-planned (drift gate).
+	DriftThreshold float64
+	// MinRelGain is the deadband: predicted relative byte gains at or
+	// below it never trigger a migration.
+	MinRelGain float64
+	// Hysteresis scales the churn cost a predicted gain must beat.
+	Hysteresis float64
+	// Horizon is the payback window in virtual seconds: savings accrue as
+	// gain × Horizon when weighed against one-time migration cost.
+	Horizon float64
+	// Cooldown is the minimum spacing between migrations of one query.
+	Cooldown float64
+	// RevertHoldoff is how long a query's previous plan stays banned
+	// after migrating away from it.
+	RevertHoldoff float64
+	// PerOpShipBytes seeds (and floors) the measured per-operator
+	// migration churn EWMA, in bytes shipped per churned operator. A
+	// moved join ships its buffered windows (≈ input rate × window ×
+	// tuple size), so the seed only matters until the first real
+	// migration is measured.
+	PerOpShipBytes float64
+	// Mode selects the migration policy.
+	Mode Mode
+}
+
+// DefaultConfig returns the tuning used by cmd/smq and the chaos harness.
+func DefaultConfig() Config {
+	return Config{
+		Interval:       10,
+		DriftThreshold: 0.2,
+		MinRelGain:     0.05,
+		Hysteresis:     1.5,
+		Horizon:        60,
+		Cooldown:       20,
+		RevertHoldoff:  120,
+		PerOpShipBytes: 2000,
+		Mode:           ModeController,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = d.DriftThreshold
+	}
+	if c.MinRelGain <= 0 {
+		c.MinRelGain = d.MinRelGain
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = d.Hysteresis
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = d.Horizon
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = d.Cooldown
+	}
+	if c.RevertHoldoff <= 0 {
+		c.RevertHoldoff = d.RevertHoldoff
+	}
+	if c.PerOpShipBytes <= 0 {
+		c.PerOpShipBytes = d.PerOpShipBytes
+	}
+	return c
+}
+
+// Stats counts what the controller did, with per-gate suppression
+// attribution so a run's decisions can be audited.
+type Stats struct {
+	Checks     int
+	Replans    int
+	Migrations int
+	// Suppressed* count candidate migrations each gate stopped.
+	SuppressedDeadband   int
+	SuppressedHysteresis int
+	SuppressedCooldown   int
+	SuppressedRevert     int
+	// PredictedSavings accumulates the predicted byte-rate gain (bytes/s)
+	// at decision time for every triggered migration; RealizedSavings the
+	// measured byte-rate change across the following control window
+	// (approximate: other activity in the window is attributed too).
+	PredictedSavings float64
+	RealizedSavings  float64
+}
+
+// Suppressed returns the total candidate migrations the gates stopped.
+func (s Stats) Suppressed() int {
+	return s.SuppressedDeadband + s.SuppressedHysteresis + s.SuppressedCooldown + s.SuppressedRevert
+}
+
+// tracked is one query under control.
+type tracked struct {
+	q           *query.Query
+	plan        *query.PlanNode
+	lastMigrate float64
+	prevSig     string // rendering of the plan last migrated away from
+	// pending marks a candidate a gate suppressed while a real gain was
+	// on the table: it keeps the query past the drift gate on later steps
+	// even after calibration has erased its apparent drift.
+	pending bool
+}
+
+// Controller is the closed-loop re-optimization policy over one runtime.
+// It is driven either by Run (self-scheduling on the runtime's virtual
+// clock) or by explicit Step calls from a harness.
+type Controller struct {
+	rt     *iflow.Runtime
+	cat    *query.Catalog
+	cfg    Config
+	replan iflow.ReplanFunc
+
+	// OnMigrate, when set, observes every applied migration — harnesses
+	// use it to mirror plan tables, advertisement registries and load
+	// ledgers synchronously with the runtime.
+	OnMigrate func(q *query.Query, old, new *query.PlanNode, rep iflow.MigrationReport)
+
+	tracked map[int]*tracked
+	order   []int // deterministic iteration: insertion order
+	win     *iflow.StatsWindow
+
+	perOpBytes  float64 // EWMA of measured BytesShipped/Delta, floored at cfg.PerOpShipBytes
+	lastVersion int     // graph version at the previous step
+	until       float64 // source lifetime bound handed to Migrate
+
+	migratedLastStep bool
+	preRate          float64 // window byte rate before the last migration step
+	lastWindowBytes  float64 // TotalBytes at the last window roll
+
+	stats Stats
+
+	obsChecks     *obs.Counter
+	obsReplans    *obs.Counter
+	obsTriggered  *obs.Counter
+	obsSuppressed *obs.Counter
+	obsDrift      *obs.Gauge
+	obsPredicted  *obs.Gauge
+	obsRealized   *obs.Gauge
+}
+
+// New builds a controller over a runtime. replan produces a fresh plan
+// for a query against the current (calibrated) catalog; it must be
+// deterministic for reproducible runs.
+func New(rt *iflow.Runtime, cat *query.Catalog, replan iflow.ReplanFunc, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		rt:          rt,
+		cat:         cat,
+		cfg:         cfg,
+		replan:      replan,
+		tracked:     map[int]*tracked{},
+		win:         rt.NewStatsWindow(),
+		perOpBytes:  cfg.PerOpShipBytes,
+		lastVersion: rt.G.Version(),
+		until:       math.Inf(1),
+	}
+}
+
+// BindObs connects the controller to a telemetry registry: control
+// activity ("adapt.checks", "adapt.replans" counters), decisions
+// ("adapt.migrations_triggered", "adapt.migrations_suppressed"), the
+// maximum observed rate drift ("adapt.drift" gauge) and the savings
+// ledger ("adapt.predicted_savings", "adapt.realized_savings" gauges).
+func (c *Controller) BindObs(reg *obs.Registry) {
+	c.obsChecks = reg.Counter("adapt.checks")
+	c.obsReplans = reg.Counter("adapt.replans")
+	c.obsTriggered = reg.Counter("adapt.migrations_triggered")
+	c.obsSuppressed = reg.Counter("adapt.migrations_suppressed")
+	c.obsDrift = reg.Gauge("adapt.drift")
+	c.obsPredicted = reg.Gauge("adapt.predicted_savings")
+	c.obsRealized = reg.Gauge("adapt.realized_savings")
+}
+
+// Track places a deployed query under control. The plan must be the one
+// currently running (rt.DeployedPlan(q.ID)).
+func (c *Controller) Track(q *query.Query, plan *query.PlanNode) {
+	if _, ok := c.tracked[q.ID]; !ok {
+		c.order = append(c.order, q.ID)
+	}
+	c.tracked[q.ID] = &tracked{q: q, plan: plan}
+}
+
+// Untrack removes a query from control (undeployed or failed). Harmless
+// for unknown IDs.
+func (c *Controller) Untrack(qid int) {
+	if _, ok := c.tracked[qid]; !ok {
+		return
+	}
+	delete(c.tracked, qid)
+	for i, id := range c.order {
+		if id == qid {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Plan returns the plan the controller believes a tracked query runs, or
+// nil.
+func (c *Controller) Plan(qid int) *query.PlanNode {
+	if t := c.tracked[qid]; t != nil {
+		return t.plan
+	}
+	return nil
+}
+
+// SetPlan updates the controller's view after an external migration
+// (failure recovery, operator-initiated replan).
+func (c *Controller) SetPlan(qid int, plan *query.PlanNode) {
+	if t := c.tracked[qid]; t != nil {
+		t.plan = plan
+	}
+}
+
+// Stats returns a copy of the decision counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Run installs the control loop on the runtime's virtual clock: one Step
+// every Interval until the horizon, which also bounds the lifetime of
+// sources created by migrations.
+func (c *Controller) Run(until float64) {
+	c.until = until
+	var tick func()
+	tick = func() {
+		if c.rt.Sim.Now() >= until {
+			return
+		}
+		c.Step()
+		c.rt.Sim.Schedule(c.cfg.Interval, tick)
+	}
+	c.rt.Sim.Schedule(c.cfg.Interval, tick)
+}
+
+// Step runs one control interval: settle realized savings, measure every
+// tracked query's drift over the window (all of them, before any
+// calibration — calibrating a shared stream for the first query would
+// erase later queries' apparent drift), recalibrate the catalog, then
+// walk candidates through the gate chain. The window rolls at the end so
+// the next step measures a fresh interval.
+func (c *Controller) Step() {
+	now := c.rt.Sim.Now()
+	elapsed := now - c.win.Start()
+	if elapsed <= 0 {
+		return
+	}
+
+	// Realized savings: the byte-rate change from the window preceding
+	// the migrations to the window after them.
+	curRate := (c.rt.TotalBytes - c.lastWindowBytes) / elapsed
+	if c.migratedLastStep {
+		realized := (c.preRate - curRate) * c.cfg.Horizon
+		c.stats.RealizedSavings += realized
+		c.obsRealized.Set(c.stats.RealizedSavings)
+		c.migratedLastStep = false
+	}
+	defer func() {
+		c.lastWindowBytes = c.rt.TotalBytes
+		c.win.Roll(c.rt)
+	}()
+
+	drifts := make(map[int]float64, len(c.order))
+	maxDrift := 0.0
+	for _, qid := range c.order {
+		d := c.drift(c.tracked[qid])
+		drifts[qid] = d
+		if d > maxDrift {
+			maxDrift = d
+		}
+	}
+	c.obsDrift.Set(maxDrift)
+
+	for _, qid := range c.order {
+		t := c.tracked[qid]
+		c.rt.Calibrate(c.cat, t.q, t.plan, c.win)
+	}
+
+	graphChanged := c.rt.G.Version() != c.lastVersion
+	c.lastVersion = c.rt.G.Version()
+
+	migrated := false
+	tupleSize := c.rt.Config().TupleSize
+	for _, qid := range c.order {
+		t := c.tracked[qid]
+		c.stats.Checks++
+		c.obsChecks.Inc()
+		if c.cfg.Mode != ModeAlways && drifts[qid] < c.cfg.DriftThreshold &&
+			!graphChanged && !t.pending {
+			continue
+		}
+
+		rates := query.BuildRates(c.cat, t.q)
+		fresh, err := c.replan(t.q)
+		if err != nil {
+			continue
+		}
+		c.stats.Replans++
+		c.obsReplans.Inc()
+
+		diff := t.q.Diff(t.plan, fresh)
+		if diff.Delta() == 0 {
+			t.pending = false
+			continue // the fresh plan is the running plan
+		}
+		// The decision is byte-denominated end to end: migrations are
+		// judged (and validated) on total bytes moved, and their churn is
+		// paid in shipped bytes, so predicted transport byte rates are
+		// the commensurable currency. The gain is marginal, not a
+		// whole-plan comparison: edges shared with other deployments keep
+		// flowing after this query leaves them, so only edges the
+		// migration actually starts or stops count. CostWith remains the
+		// planner-side objective; the gain here is what the runtime's
+		// TotalBytes will actually see.
+		rateOf := c.rateOf(t.q, rates)
+		curBytes := BytesWith(t.plan, rateOf, tupleSize, t.q.Sink)
+		gain := c.marginalGain(t.q, t.plan, fresh, rateOf, tupleSize)
+		if c.cfg.Mode == ModeNever {
+			continue
+		}
+		if c.cfg.Mode == ModeController {
+			if gain <= c.cfg.MinRelGain*math.Abs(curBytes) {
+				t.pending = false // noise, not a deferred opportunity
+				c.suppress(&c.stats.SuppressedDeadband)
+				continue
+			}
+			// Price the migration's churn from what it would actually
+			// ship: each moved operator's live state, measured now, plus
+			// the per-operator overhead EWMA for the rest of the delta.
+			// The seed EWMA alone blinds the gate to moves of hot joins
+			// whose windows dwarf the per-op constant.
+			churn := float64(diff.Delta()) * c.perOpBytes
+			if ship := c.predictShipBytes(t.q, diff, tupleSize); ship > churn {
+				churn = ship
+			}
+			if gain*c.cfg.Horizon <= c.cfg.Hysteresis*churn {
+				t.pending = true
+				c.suppress(&c.stats.SuppressedHysteresis)
+				continue
+			}
+			if t.lastMigrate > 0 && now-t.lastMigrate < c.cfg.Cooldown {
+				t.pending = true
+				c.suppress(&c.stats.SuppressedCooldown)
+				continue
+			}
+			if t.prevSig != "" && fresh.String() == t.prevSig && now-t.lastMigrate < c.cfg.RevertHoldoff {
+				t.pending = true
+				c.suppress(&c.stats.SuppressedRevert)
+				continue
+			}
+		}
+
+		rep, err := c.rt.Migrate(t.q, fresh, c.cat, c.until)
+		if err != nil {
+			continue
+		}
+		old := t.plan
+		t.prevSig = old.String()
+		t.plan = fresh
+		t.lastMigrate = now
+		t.pending = false
+		migrated = true
+		c.stats.Migrations++
+		c.stats.PredictedSavings += gain
+		c.obsTriggered.Inc()
+		c.obsPredicted.Set(c.stats.PredictedSavings)
+
+		// Learn the measured per-operator migration churn. Pure
+		// create/retire migrations ship nothing (BytesShipped 0); folding
+		// those into the EWMA would decay the hysteresis to nothing, so
+		// the estimate is floored at the configured seed.
+		if rep.Delta() > 0 {
+			per := rep.BytesShipped / float64(rep.Delta())
+			if per < c.cfg.PerOpShipBytes {
+				per = c.cfg.PerOpShipBytes
+			}
+			c.perOpBytes = 0.7*c.perOpBytes + 0.3*per
+		}
+		if c.OnMigrate != nil {
+			c.OnMigrate(t.q, old, fresh, rep)
+		}
+	}
+	if migrated {
+		c.migratedLastStep = true
+		c.preRate = curRate
+	}
+}
+
+func (c *Controller) suppress(counter *int) {
+	*counter++
+	c.obsSuppressed.Inc()
+}
+
+// drift returns the worst relative observed-vs-assumed rate drift across
+// a query's base streams over the current window. Streams with no
+// observations in the window (sources quiesced) report no drift.
+func (c *Controller) drift(t *tracked) float64 {
+	max := 0.0
+	for _, leaf := range t.plan.Leaves() {
+		if leaf.In.Derived {
+			continue
+		}
+		ids := t.q.StreamsOf(leaf.Mask)
+		if len(ids) != 1 {
+			continue
+		}
+		assumed := c.cat.Stream(ids[0]).Rate
+		if assumed <= 0 {
+			continue
+		}
+		observed := c.rt.WindowedRate(c.win, leaf.In.Sig, leaf.Loc)
+		if observed <= 0 {
+			continue
+		}
+		if d := math.Abs(observed-assumed) / assumed; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// CostWith re-costs a placed plan under a fresh rate table: every leaf
+// and join node's output rate is looked up by mask (so calibrated
+// statistics apply), unary nodes keep their annotated rate (aggregation
+// output rates are period-bound, not selectivity-bound). This is how the
+// controller compares the running plan — whose annotations are stale by
+// definition — against a fresh optimization on equal terms.
+func CostWith(plan *query.PlanNode, rates query.RateTable, dist query.DistFunc, sink netgraph.NodeID) float64 {
+	rate := func(n *query.PlanNode) float64 {
+		if n.IsUnary() {
+			return n.Rate
+		}
+		return rates.Rate(n.Mask)
+	}
+	var walk func(n *query.PlanNode) float64
+	walk = func(n *query.PlanNode) float64 {
+		if n.IsLeaf() {
+			return 0
+		}
+		if n.IsUnary() {
+			return walk(n.L) + rate(n.L)*dist(n.L.Loc, n.Loc)
+		}
+		return walk(n.L) + walk(n.R) +
+			rate(n.L)*dist(n.L.Loc, n.Loc) +
+			rate(n.R)*dist(n.R.Loc, n.Loc)
+	}
+	return walk(plan) + rate(plan)*dist(plan.Loc, sink)
+}
+
+// BytesWith predicts a placed plan's transport byte rate under a per-node
+// rate estimate: bytes crossing links per second. Unlike CostWith it
+// ignores distance — the runtime accounts TotalBytes once per remote
+// transfer, so only whether an edge crosses nodes matters, not how far.
+// Node-local handoffs are free. This is the estimate migration decisions
+// are gated on, because the controller is validated against exactly this
+// runtime counter.
+func BytesWith(plan *query.PlanNode, rate func(*query.PlanNode) float64, tupleSize float64, sink netgraph.NodeID) float64 {
+	cross := func(rate float64, from, to netgraph.NodeID) float64 {
+		if from == to {
+			return 0
+		}
+		return rate * tupleSize
+	}
+	var walk func(n *query.PlanNode) float64
+	walk = func(n *query.PlanNode) float64 {
+		if n.IsLeaf() {
+			return 0
+		}
+		if n.IsUnary() {
+			return walk(n.L) + cross(rate(n.L), n.L.Loc, n.Loc)
+		}
+		return walk(n.L) + walk(n.R) +
+			cross(rate(n.L), n.L.Loc, n.Loc) +
+			cross(rate(n.R), n.R.Loc, n.Loc)
+	}
+	return walk(plan) + cross(rate(plan), plan.Loc, sink)
+}
+
+// marginalGain predicts the change in the runtime's transport byte rate
+// (bytes/s saved; negative means the migration adds traffic) of replacing
+// old with fresh, accounting for operator sharing. A whole-plan
+// BytesWith(old) − BytesWith(fresh) comparison is wrong under reuse in
+// both directions: edges into an old operator another deployment still
+// references keep flowing after this query migrates away (phantom
+// savings), and a fresh plan that attaches to an already-running shared
+// operator adds no input edges (phantom costs). So the prediction walks
+// the IR diff edge by edge:
+//
+//   - input edges of an old operator stop flowing only if the operator
+//     will actually be collected — it leaves the new plan AND no other
+//     deployment holds a reference on it (Operator.Refs beyond this
+//     plan's own holds);
+//   - input edges of a new operator start flowing only if the operator
+//     will actually be created — absent from the old plan AND not
+//     already running at that node (reuse attaches to existing wiring);
+//   - kept operators whose producer set changes swap exactly the edges
+//     the rewire swaps;
+//   - the root→sink edge always belongs to this query alone.
+//
+// Node-local edges are free, matching the runtime's TotalBytes
+// accounting.
+func (c *Controller) marginalGain(q *query.Query, old, fresh *query.PlanNode, est func(*query.PlanNode) float64, tupleSize float64) float64 {
+	oldIR, newIR := q.IR(old), q.IR(fresh)
+	rate := make(map[query.OpRef]float64, len(oldIR)+len(newIR))
+	oldByRef := make(map[query.OpRef]query.IROp, len(oldIR))
+	holds := make(map[query.OpRef]int, len(oldIR))
+	for _, op := range oldIR {
+		oldByRef[op.Ref] = op
+		holds[op.Ref]++
+		if _, ok := rate[op.Ref]; !ok {
+			rate[op.Ref] = est(op.Node)
+		}
+	}
+	newByRef := make(map[query.OpRef]query.IROp, len(newIR))
+	for _, op := range newIR {
+		newByRef[op.Ref] = op
+		if _, ok := rate[op.Ref]; !ok {
+			rate[op.Ref] = est(op.Node)
+		}
+	}
+	cross := func(in query.OpRef, at netgraph.NodeID) float64 {
+		if in.Loc == at {
+			return 0
+		}
+		return rate[in] * tupleSize
+	}
+	// Collection cascades top-down: an operator is only collected when
+	// nothing subscribes to it, and its old-plan consumer's subscription
+	// disappears only if that consumer is itself collected (or kept but
+	// rewired away — a kept consumer still using it would have kept it in
+	// the new plan too). So a retired operator survives if it is shared
+	// (references beyond this plan's own holds) OR its retired parent
+	// survives; reverse post-order visits parents before children.
+	survive := make(map[query.OpRef]bool, len(oldIR))
+	consumer := make(map[query.OpRef]query.OpRef, len(oldIR))
+	for _, op := range oldIR {
+		for _, in := range op.Inputs {
+			consumer[in] = op.Ref
+		}
+	}
+	for i := len(oldIR) - 1; i >= 0; i-- {
+		op := oldIR[i]
+		if _, kept := newByRef[op.Ref]; kept {
+			survive[op.Ref] = true
+			continue
+		}
+		live := c.rt.Operator(op.Ref.Sig, op.Ref.Loc)
+		if live == nil || live.Refs() > holds[op.Ref] {
+			survive[op.Ref] = true // already gone, or shared: no flow stops
+			continue
+		}
+		par, hasPar := consumer[op.Ref]
+		psig, ploc := "", netgraph.NodeID(-1)
+		if hasPar {
+			psig, ploc = par.Sig, par.Loc
+		}
+		if live.SubscribedBeyond(psig, ploc, q.ID) {
+			// A subscriber outside this plan (a containment residual
+			// filter, another query's sink) holds no reference but keeps
+			// the operator running all the same.
+			survive[op.Ref] = true
+			continue
+		}
+		if hasPar {
+			pnew, parKept := newByRef[par]
+			if parKept && pnew.Leaf {
+				// The parent is kept but demoted to a leaf (the fresh plan
+				// consumes it as an already-materialized stream): leaves own
+				// no upstream wiring, so the subscription — and this whole
+				// subtree — keeps running.
+				survive[op.Ref] = true
+				continue
+			}
+			if !parKept && survive[par] {
+				survive[op.Ref] = true // surviving retired parent keeps subscribing
+				continue
+			}
+		}
+	}
+	removed, added := 0.0, 0.0
+	for _, op := range oldIR {
+		if op.Leaf {
+			continue
+		}
+		if _, kept := newByRef[op.Ref]; kept {
+			continue
+		}
+		if survive[op.Ref] {
+			continue // keeps running; its inputs keep flowing
+		}
+		for _, in := range op.Inputs {
+			removed += cross(in, op.Ref.Loc)
+		}
+	}
+	for _, op := range newIR {
+		if op.Leaf {
+			continue
+		}
+		if _, wasOld := oldByRef[op.Ref]; wasOld {
+			continue
+		}
+		if c.rt.Operator(op.Ref.Sig, op.Ref.Loc) != nil {
+			continue // reused: the producing deployment already pays its inputs
+		}
+		for _, in := range op.Inputs {
+			added += cross(in, op.Ref.Loc)
+		}
+	}
+	for _, nop := range newIR {
+		oop, kept := oldByRef[nop.Ref]
+		if !kept || nop.Leaf || oop.Leaf {
+			continue
+		}
+		for i, in := range nop.Inputs {
+			if i < len(oop.Inputs) && oop.Inputs[i] == in {
+				continue
+			}
+			added += cross(in, nop.Ref.Loc)
+		}
+		for i, in := range oop.Inputs {
+			if i < len(nop.Inputs) && nop.Inputs[i] == in {
+				continue
+			}
+			removed += cross(in, oop.Ref.Loc)
+		}
+	}
+	oldRoot, newRoot := oldIR[len(oldIR)-1], newIR[len(newIR)-1]
+	if oldRoot.Ref != newRoot.Ref {
+		removed += cross(oldRoot.Ref, q.Sink)
+		added += cross(newRoot.Ref, q.Sink)
+	}
+	return removed - added
+}
+
+// predictShipBytes prices a candidate migration's state shipping: every
+// Move whose destination does not exist yet (Migrate only copies state
+// into operators it creates) ships the source operator's live window and
+// accumulator state across the link. Mirrors Migrate's shipping rules,
+// filters excluded.
+func (c *Controller) predictShipBytes(q *query.Query, diff query.PlanDiff, tupleSize float64) float64 {
+	var ship float64
+	for _, mv := range diff.Move {
+		if c.rt.Operator(mv.Sig, mv.To) != nil {
+			continue // pre-existing destination keeps its own state
+		}
+		src := c.rt.Operator(mv.Sig, mv.From)
+		if src == nil {
+			continue
+		}
+		ship += src.StateBytes(tupleSize)
+	}
+	return ship
+}
+
+// rateOf returns a per-node output-rate estimator for plans of q,
+// measured-first: a node whose operator is live right now (every node of
+// the running plan, and any advertised derived stream a fresh plan would
+// reuse) reports its windowed measured rate; a join that does not exist
+// yet composes its children's estimates with ONE calibrated pairwise
+// selectivity per join step. The analytic RateTable multiplies one
+// selectivity per stream pair, which underestimates deep intermediates by
+// orders of magnitude against the runtime's per-step window join — biased
+// estimates there made every plan that ships reused intermediates look
+// free, which is precisely the migration decision this estimator exists
+// to get right.
+func (c *Controller) rateOf(q *query.Query, rates query.RateTable) func(*query.PlanNode) float64 {
+	var est func(n *query.PlanNode) float64
+	est = func(n *query.PlanNode) float64 {
+		sig := ""
+		switch {
+		case n.IsLeaf():
+			sig = n.In.Sig
+		case !n.IsUnary():
+			sig = q.SigOf(n.Mask)
+		}
+		if sig != "" {
+			if r := c.rt.WindowedRate(c.win, sig, n.Loc); r > 0 {
+				return r
+			}
+		}
+		switch {
+		case n.IsLeaf():
+			if n.In.Derived {
+				// A containment reuse's residual filter may not exist yet,
+				// but its physical output is determined: the measured base
+				// stream thinned by the pass probability the runtime will
+				// derive from the annotations. The annotation alone can be
+				// off by the full pass-probability factor.
+				if n.In.BaseSig != "" {
+					if base := c.rt.Operator(n.In.BaseSig, n.Loc); base != nil {
+						if br := c.rt.WindowedRate(c.win, n.In.BaseSig, n.Loc); br > 0 {
+							return br * iflow.ResidualPassProb(n.Rate, base.ExpRate())
+						}
+					}
+				}
+				return n.Rate // not live and not measurable: trust the annotation
+			}
+			return rates.Rate(n.Mask) // calibrated base rate (× predicate selectivity)
+		case n.IsUnary():
+			return n.Rate
+		}
+		lp := n.L.Mask.Positions()
+		rp := n.R.Mask.Positions()
+		sel := c.cat.Selectivity(q.Sources[lp[0]], q.Sources[rp[0]])
+		return est(n.L) * est(n.R) * sel
+	}
+	return est
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hnp/internal/adapt"
+)
+
+// PolicyOutcome is one policy's result on a shared rate-shift schedule.
+type PolicyOutcome struct {
+	Mode   adapt.Mode
+	Report Report
+}
+
+// Bytes is the headline metric: total bytes moved over links, transport
+// and migration state shipping included.
+func (o PolicyOutcome) Bytes() float64 { return o.Report.Stats.TotalBytes }
+
+// CompareAdaptPolicies runs the same rate-shift schedule three times from
+// identical seeds — never-migrate, always-remigrate, and the gated
+// controller — and returns the outcomes in that order. All three attach a
+// controller (measurement and re-planning overhead are identical; only the
+// migration decision differs) and all three see byte-identical event
+// schedules: the schedule rng is insulated from every controller decision.
+// This is the validation harness for the closed-loop controller — it must
+// strictly beat both baselines on total bytes with zero oscillation.
+func CompareAdaptPolicies(cfg Config) ([3]PolicyOutcome, error) {
+	var out [3]PolicyOutcome
+	if cfg.Profile != ProfileRateShift {
+		return out, fmt.Errorf("chaos: CompareAdaptPolicies needs Profile=%q, got %q", ProfileRateShift, cfg.Profile)
+	}
+	base := adapt.DefaultConfig()
+	if cfg.Adapt != nil {
+		base = *cfg.Adapt
+	}
+	modes := [3]adapt.Mode{adapt.ModeNever, adapt.ModeAlways, adapt.ModeController}
+	for i, m := range modes {
+		c := cfg
+		a := base
+		a.Mode = m
+		c.Adapt = &a
+		w, err := New(c)
+		if err != nil {
+			return out, err
+		}
+		rep, err := w.Run()
+		if err != nil {
+			return out, fmt.Errorf("mode %d: %w", m, err)
+		}
+		out[i] = PolicyOutcome{Mode: m, Report: rep}
+	}
+	return out, nil
+}

@@ -18,18 +18,29 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
 
+	"hnp/internal/adapt"
 	"hnp/internal/ads"
 	"hnp/internal/core"
 	"hnp/internal/hierarchy"
 	"hnp/internal/iflow"
+	"hnp/internal/load"
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
 	"hnp/internal/workload"
 )
+
+// ProfileRateShift selects the adaptive-control stress schedule: the whole
+// query pool deploys upfront, the event mix narrows to live stream-rate
+// shifts, link-cost bursts and idle time, and rate shifts hit the live
+// source taps only — the catalog the planners consult learns the truth
+// exclusively through the controller's windowed calibration. This is the
+// schedule the closed-loop controller is validated on.
+const ProfileRateShift = "rateshift"
 
 // Config parameterizes one chaos run. Identical configs (seed included)
 // produce identical runs, event for event and tuple for tuple.
@@ -55,6 +66,14 @@ type Config struct {
 	// plan applied as a diff-based migration (iflow.Migrate) rather than a
 	// teardown. Off by default so existing seeds replay unchanged.
 	Migrate bool
+	// Profile selects the event mix: "" is the default fault/churn
+	// schedule; ProfileRateShift is the adaptive-control stress schedule.
+	Profile string
+	// Adapt, when non-nil, attaches a closed-loop re-optimization
+	// controller (internal/adapt) to the run: every pool query is placed
+	// under control and the controller's migrations are mirrored into the
+	// harness bookkeeping. Only meaningful with ProfileRateShift.
+	Adapt *adapt.Config
 	// Runtime tunes the IFLOW engine's physical constants.
 	Runtime iflow.Config
 }
@@ -75,8 +94,29 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
+// RateShiftConfig returns the standard adaptive-control stress shape: the
+// default topology and pool, 40 events at ~3 virtual seconds apart drawn
+// from the rate-shift profile, with the default controller tuning at a
+// 15-second control interval. The pacing matters: shifts are regime
+// changes that persist for several control intervals (roughly one shift
+// per stream per 45 virtual seconds), long enough for a migration's churn
+// to pay back — a schedule that re-rolls every rate faster than the
+// control period rewards never adapting at all.
+func RateShiftConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Profile = ProfileRateShift
+	cfg.Events = 40
+	cfg.MeanStep = 3.0
+	a := adapt.DefaultConfig()
+	a.Interval = 15
+	cfg.Adapt = &a
+	return cfg
+}
+
 func (cfg Config) validate() error {
 	switch {
+	case cfg.Profile != "" && cfg.Profile != ProfileRateShift:
+		return fmt.Errorf("chaos: unknown profile %q", cfg.Profile)
 	case cfg.Nodes < 8:
 		return fmt.Errorf("chaos: need at least 8 nodes, got %d", cfg.Nodes)
 	case cfg.MaxCS < 2:
@@ -134,8 +174,25 @@ type World struct {
 	minLive int
 	horizon float64
 
+	// tracker is the incremental load ledger, fed diff-aware at every
+	// deploy/undeploy/recovery/migration; check() audits it against a
+	// from-scratch recompute after every event.
+	tracker *load.Tracker
+	// ctl is the closed-loop controller (rate-shift profile with
+	// Config.Adapt set), nil otherwise.
+	ctl *adapt.Controller
+	// liveRates is the ground truth the live taps emit at, keyed by
+	// stream. Rate-shift profile events update it (and the taps) without
+	// touching the catalog; the schedule draws shift factors from it so
+	// event generation never depends on what the controller calibrated.
+	liveRates map[query.StreamID]float64
+	// planHist records each query's plan history (deploy + every
+	// controller migration) for A→B→A oscillation detection.
+	planHist     map[int][]string
+	oscillations int
+
 	trace     []Event
-	counts    [8]int
+	counts    [9]int
 	prev      iflow.Stats
 	prevSinks map[int]sinkBase
 }
@@ -148,7 +205,12 @@ type Report struct {
 	Deployed  int
 	Delivered int64
 	Stats     iflow.Stats
-	Trace     []Event
+	// Adapt carries the controller's decision counters (zero value when
+	// no controller was attached).
+	Adapt adapt.Stats
+	// Oscillations counts A→B→A plan flips across controller migrations.
+	Oscillations int
+	Trace        []Event
 }
 
 // TraceString renders the full replayable event trace.
@@ -196,7 +258,13 @@ func New(cfg Config) (*World, error) {
 		nLive:     cfg.Nodes,
 		minLive:   max(cfg.MaxCS, cfg.Nodes/2),
 		horizon:   cfg.horizon(),
+		tracker:   load.NewTracker(),
+		liveRates: map[query.StreamID]float64{},
+		planHist:  map[int][]string{},
 		prevSinks: map[int]sinkBase{},
+	}
+	for i := 0; i < wl.Catalog.NumStreams(); i++ {
+		w.liveRates[query.StreamID(i)] = wl.Catalog.Stream(query.StreamID(i)).Rate
 	}
 	for i := range w.live {
 		w.live[i] = true
@@ -227,6 +295,14 @@ func New(cfg Config) (*World, error) {
 // performs a final audit including the zero-in-flight conservation check.
 // The returned report always carries the trace, violation or not.
 func (w *World) Run() (Report, error) {
+	if w.cfg.Profile == ProfileRateShift {
+		if err := w.startRateShift(); err != nil {
+			return w.report(), fmt.Errorf("chaos: seed %d, rate-shift setup: %w", w.cfg.Seed, err)
+		}
+		if err := w.check(); err != nil {
+			return w.report(), fmt.Errorf("chaos: seed %d, after rate-shift setup: %w", w.cfg.Seed, err)
+		}
+	}
 	for i := 0; i < w.cfg.Events; i++ {
 		e := w.nextEvent(i)
 		if err := w.apply(&e); err != nil {
@@ -272,14 +348,116 @@ func (w *World) report() Report {
 			counts[Kind(k).String()] = n
 		}
 	}
-	return Report{
-		Seed:      w.cfg.Seed,
-		Events:    len(w.trace),
-		Counts:    counts,
-		Deployed:  deployed,
-		Delivered: delivered,
-		Stats:     st,
-		Trace:     w.trace,
+	r := Report{
+		Seed:         w.cfg.Seed,
+		Events:       len(w.trace),
+		Counts:       counts,
+		Deployed:     deployed,
+		Delivered:    delivered,
+		Stats:        st,
+		Oscillations: w.oscillations,
+		Trace:        w.trace,
+	}
+	if w.ctl != nil {
+		r.Adapt = w.ctl.Stats()
+	}
+	return r
+}
+
+// startRateShift prepares the adaptive-control schedule: the whole pool is
+// planned (consuming the schedule rng identically regardless of controller
+// policy) and deployed, and — when configured — the controller is attached
+// with every query under control.
+//
+// Each pool query is planned against an EMPTY advertisement registry —
+// every deployment stands alone, as if the queries arrived before any
+// cross-query optimization ran. The default profile already exercises
+// reuse-dense arrival ordering; this profile isolates the re-optimization
+// loop, which must discover both kinds of improvement at run time:
+// consolidating duplicated work onto advertised intermediates, and
+// re-placing operators as the live rates drift. All plans are advertised
+// after deployment, so controller re-plans see the full reuse surface.
+func (w *World) startRateShift() error {
+	for _, q := range w.pool {
+		res, _, err := w.planQueryWith(q, ads.NewRegistry())
+		if err != nil {
+			return fmt.Errorf("planner rejected pool query %d: %w", q.ID, err)
+		}
+		if err := w.rt.Deploy(q, res.Plan, w.cat, w.horizon); err != nil {
+			return fmt.Errorf("runtime rejected plan %s: %w", res.Plan, err)
+		}
+		w.plans[q.ID] = res.Plan
+		w.state[q.ID] = stateDeployed
+		w.prevSinks[q.ID] = sinkBase{}
+		w.tracker.AddPlan(res.Plan)
+		w.planHist[q.ID] = []string{res.Plan.String()}
+	}
+	for _, q := range w.pool {
+		w.reg.AdvertisePlan(q, w.plans[q.ID])
+	}
+	if w.cfg.Adapt != nil {
+		w.ctl = adapt.New(w.rt, w.cat, w.ctlReplan, *w.cfg.Adapt)
+		w.ctl.OnMigrate = w.onCtlMigrate
+		for _, q := range w.pool {
+			w.ctl.Track(q, w.plans[q.ID])
+		}
+		w.ctl.Run(w.horizon)
+	}
+	return nil
+}
+
+// ctlReplan is the controller's re-planner: always Top-Down against
+// current (calibrated) conditions and advertisements. It deliberately
+// bypasses planQuery — the controller must not consume the schedule rng,
+// or its decisions would perturb the event sequence and break cross-policy
+// comparability on a shared seed.
+//
+// The query's own advertisements are withheld from the planner: offered
+// its own deployed root, Top-Down always "reuses" it — a plan that reads
+// the stream the query already computes, which migrates to a physical
+// no-op (the old tree keeps running under the kept-as-leaf root) with
+// predicted gain zero. Withholding them forces the planner to state how
+// it would compute the query from base streams and OTHER queries'
+// materialized intermediates — the comparison that surfaces real
+// consolidation and re-placement wins.
+func (w *World) ctlReplan(q *query.Query) (*query.PlanNode, error) {
+	reg := w.reg.Clone()
+	reg.Prune(func(ad ads.Ad) bool { return ad.QueryID != q.ID })
+	res, err := core.TopDown(w.h, w.cat, q, reg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
+}
+
+// onCtlMigrate mirrors a controller migration into the harness
+// synchronously: plan table, advertisements, the load ledger (diff-aware
+// via the report's LoadDelta), tap rates (operators the migration
+// re-created started at catalog rates, which may trail the live truth) and
+// the oscillation history.
+func (w *World) onCtlMigrate(q *query.Query, old, fresh *query.PlanNode, rep iflow.MigrationReport) {
+	w.plans[q.ID] = fresh
+	w.reg.AdvertisePlan(q, fresh)
+	w.pruneAds()
+	w.tracker.ApplyDelta(rep.LoadDelta)
+	for _, l := range fresh.Leaves() {
+		if l.In.Derived {
+			continue
+		}
+		ids := q.StreamsOf(l.Mask)
+		if len(ids) != 1 {
+			continue
+		}
+		if r, ok := w.liveRates[ids[0]]; ok {
+			// The tap exists — the plan just deployed it; a failure here
+			// would surface as a calibration drift the invariants audit.
+			_ = w.rt.SetSourceRate(l.In.Sig, l.Loc, r)
+		}
+	}
+	hist := append(w.planHist[q.ID], fresh.String())
+	w.planHist[q.ID] = hist
+	if n := len(hist); n >= 3 && hist[n-1] == hist[n-3] && hist[n-1] != hist[n-2] {
+		w.oscillations++
 	}
 }
 
@@ -288,6 +466,9 @@ func (w *World) report() Report {
 // eligible idle query); parameters are drawn by deterministic scans so the
 // schedule is a pure function of the seed.
 func (w *World) nextEvent(idx int) Event {
+	if w.cfg.Profile == ProfileRateShift {
+		return w.nextRateShiftEvent(idx)
+	}
 	e := Event{Index: idx, Dt: w.rng.ExpFloat64() * w.cfg.MeanStep}
 	type choice struct {
 		kind   Kind
@@ -353,6 +534,39 @@ func (w *World) nextEvent(idx int) Event {
 		e.Stream = query.StreamID(w.rng.Intn(w.cat.NumStreams()))
 		factor := 0.5 + w.rng.Float64()*1.5
 		e.Value = clamp(w.cat.Stream(e.Stream).Rate*factor, 0.5, 200)
+	}
+	return e
+}
+
+// nextRateShiftEvent draws from the adaptive-control mix: live stream-rate
+// shifts (weight 5), link-cost bursts (2) and idle time (3). Every
+// parameter derives from the schedule rng and harness-owned state
+// (liveRates, the graph) — never from anything the controller influences —
+// so identical seeds yield identical schedules under every policy mode.
+func (w *World) nextRateShiftEvent(idx int) Event {
+	e := Event{Index: idx, Dt: w.rng.ExpFloat64() * w.cfg.MeanStep}
+	pick := w.rng.Intn(10)
+	switch {
+	case pick < 5:
+		e.Kind = KindRateShift
+		e.Stream = query.StreamID(w.rng.Intn(w.cat.NumStreams()))
+		// Log-uniform factor in [0.1, 10): shifts are multiplicative and
+		// symmetric, so rates wander over two decades instead of creeping.
+		factor := math.Pow(10, w.rng.Float64()*2-1)
+		e.Value = clamp(w.liveRates[e.Stream]*factor, 0.5, 100)
+	case pick < 7:
+		e.Kind = KindLinkBurst
+		links := w.g.Links()
+		n := 2 + w.rng.Intn(3)
+		for i := 0; i < n; i++ {
+			l := links[w.rng.Intn(len(links))]
+			factor := 0.5 + w.rng.Float64()*1.5
+			e.Burst = append(e.Burst, iflow.LinkCostUpdate{
+				A: l.A, B: l.B, Cost: clamp(l.Cost*factor, 0.05, 1e6),
+			})
+		}
+	default:
+		e.Kind = KindIdle
 	}
 	return e
 }
@@ -459,18 +673,65 @@ func (w *World) apply(e *Event) error {
 		if err := w.rt.Undeploy(q.ID); err != nil {
 			return fmt.Errorf("undeploy rejected: %w", err)
 		}
+		w.tracker.RemovePlan(w.plans[q.ID])
 		w.state[q.ID] = stateIdle
 		delete(w.plans, q.ID)
 		delete(w.prevSinks, q.ID)
 		w.pruneAds()
 		return nil
 	case KindRateShift:
+		if w.cfg.Profile == ProfileRateShift {
+			return w.applyLiveRateShift(e)
+		}
 		w.cat.SetRate(e.Stream, e.Value)
 		return nil
 	case KindQueryMigrate:
 		return w.applyMigrate(e)
+	case KindLinkBurst:
+		if err := w.rt.UpdateLinkCosts(e.Burst); err != nil {
+			return fmt.Errorf("link burst rejected: %w", err)
+		}
+		w.paths = w.g.ShortestPaths(netgraph.MetricCost)
+		if err := w.h.Rebind(w.paths); err != nil {
+			return fmt.Errorf("hierarchy rejected fresh paths: %w", err)
+		}
+		return nil
 	}
 	return fmt.Errorf("unknown event kind %d", e.Kind)
+}
+
+// applyLiveRateShift retunes the live taps covering a stream without
+// touching the catalog: the planning model may only learn the new rate
+// through the controller's windowed calibration — the closed loop under
+// test. Taps are deduplicated (queries share them) and recorded in the
+// trace note.
+func (w *World) applyLiveRateShift(e *Event) error {
+	w.liveRates[e.Stream] = e.Value
+	seen := map[string]bool{}
+	taps := 0
+	for _, qid := range w.deployedIDs() {
+		q := w.qByID[qid]
+		for _, l := range w.plans[qid].Leaves() {
+			if l.In.Derived {
+				continue
+			}
+			ids := q.StreamsOf(l.Mask)
+			if len(ids) != 1 || ids[0] != e.Stream {
+				continue
+			}
+			key := fmt.Sprintf("%s@%d", l.In.Sig, l.Loc)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if err := w.rt.SetSourceRate(l.In.Sig, l.Loc, e.Value); err != nil {
+				return fmt.Errorf("live rate shift rejected: %w", err)
+			}
+			taps++
+		}
+	}
+	e.Note = fmt.Sprintf("taps=%d", taps)
+	return nil
 }
 
 func (w *World) applyFail(e *Event) error {
@@ -485,16 +746,26 @@ func (w *World) applyFail(e *Event) error {
 		e.Note = "affected=none"
 		return nil
 	}
+	// Snapshot the affected queries' booked plans: RecoverQueries rewrites
+	// w.plans in place, and the ledger must release exactly what was
+	// booked, not the recovered replacement.
+	oldPlans := make(map[int]*query.PlanNode, len(affected))
+	for _, qid := range affected {
+		oldPlans[qid] = w.plans[qid]
+	}
 	recovered, failed, err := w.rt.RecoverQueries(affected, w.qByID, w.plans, w.cat, w.replan, w.horizon)
 	if err != nil {
 		return fmt.Errorf("recovery aborted: %w", err)
 	}
 	for _, qid := range failed {
+		w.tracker.RemovePlan(oldPlans[qid])
 		w.state[qid] = stateIdle
 		delete(w.plans, qid)
 		delete(w.prevSinks, qid)
 	}
 	for _, qid := range recovered {
+		w.tracker.RemovePlan(oldPlans[qid])
+		w.tracker.AddPlan(w.plans[qid])
 		w.reg.AdvertisePlan(w.qByID[qid], w.plans[qid])
 	}
 	w.pruneAds()
@@ -517,6 +788,7 @@ func (w *World) applyArrive(e *Event) error {
 	w.plans[q.ID] = res.Plan
 	w.state[q.ID] = stateDeployed
 	w.prevSinks[q.ID] = sinkBase{} // Deploy resets delivery statistics
+	w.tracker.AddPlan(res.Plan)
 	return nil
 }
 
@@ -535,6 +807,7 @@ func (w *World) applyMigrate(e *Event) error {
 	if err != nil {
 		return fmt.Errorf("migration rejected plan %s: %w", res.Plan, err)
 	}
+	w.tracker.ApplyDelta(rep.LoadDelta)
 	w.plans[q.ID] = res.Plan
 	w.reg.AdvertisePlan(q, res.Plan)
 	w.pruneAds()
@@ -546,11 +819,18 @@ func (w *World) applyMigrate(e *Event) error {
 // planQuery runs one of the paper's hierarchy planners, chosen by the
 // schedule rng, against current conditions and advertisements.
 func (w *World) planQuery(q *query.Query) (core.Result, string, error) {
+	return w.planQueryWith(q, w.reg)
+}
+
+// planQueryWith plans against an explicit registry, consuming the schedule
+// rng exactly like planQuery — callers that must not see advertisements
+// (the rate-shift profile's independent arrivals) pass an empty one.
+func (w *World) planQueryWith(q *query.Query, reg *ads.Registry) (core.Result, string, error) {
 	if w.rng.Intn(2) == 0 {
-		res, err := core.TopDown(w.h, w.cat, q, w.reg)
+		res, err := core.TopDown(w.h, w.cat, q, reg)
 		return res, "top-down", err
 	}
-	res, err := core.BottomUp(w.h, w.cat, q, w.reg)
+	res, err := core.BottomUp(w.h, w.cat, q, reg)
 	return res, "bottom-up", err
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hnp/internal/iflow"
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
 )
@@ -42,6 +43,11 @@ const (
 	// churn, and delivery statistics must carry across without a reset.
 	// Only scheduled when Config.Migrate is set.
 	KindQueryMigrate
+	// KindLinkBurst drifts several links' per-byte costs at once through
+	// the runtime's batched UpdateLinkCosts (one all-pairs refresh for the
+	// whole burst), then refreshes the harness snapshot and re-binds the
+	// hierarchy. Only scheduled by the rate-shift profile.
+	KindLinkBurst
 )
 
 // String names the kind for traces.
@@ -63,6 +69,8 @@ func (k Kind) String() string {
 		return "rate-shift"
 	case KindQueryMigrate:
 		return "query-migrate"
+	case KindLinkBurst:
+		return "link-burst"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -80,6 +88,8 @@ type Event struct {
 	Node netgraph.NodeID
 	// A, B name the perturbed link (KindLinkCost).
 	A, B netgraph.NodeID
+	// Burst carries the batch of link-cost changes (KindLinkBurst).
+	Burst []iflow.LinkCostUpdate
 	// Value carries the new link cost or stream rate.
 	Value float64
 	// Stream is the shifted stream (KindRateShift).
@@ -108,6 +118,12 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " query=%d", e.Query)
 	case KindRateShift:
 		fmt.Fprintf(&b, " stream=%d rate=%.4f", e.Stream, e.Value)
+	case KindLinkBurst:
+		parts := make([]string, len(e.Burst))
+		for i, u := range e.Burst {
+			parts[i] = fmt.Sprintf("%d-%d=%.4f", u.A, u.B, u.Cost)
+		}
+		fmt.Fprintf(&b, " links=[%s]", strings.Join(parts, " "))
 	}
 	if e.Note != "" {
 		fmt.Fprintf(&b, " [%s]", e.Note)

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 
 	"hnp/internal/netgraph"
 )
@@ -65,6 +66,29 @@ func (w *World) check() error {
 	for _, qid := range want {
 		if w.rt.DeployedPlan(qid) != w.plans[qid] {
 			return fmt.Errorf("query %d: runtime's deployed plan diverges from the harness's", qid)
+		}
+	}
+
+	// The incremental load ledger equals a from-scratch recompute over the
+	// deployed plans: diff-aware migration accounting (ApplyDelta) must
+	// leave exactly the same per-node load as tearing the books down and
+	// re-adding every plan would — no holes, no double counting, no
+	// residue.
+	expect := map[netgraph.NodeID]float64{}
+	for _, qid := range want {
+		for _, op := range w.plans[qid].Operators() {
+			expect[op.Loc] += op.InputRate()
+		}
+	}
+	snap := w.tracker.Snapshot()
+	for v, r := range expect {
+		if diff := math.Abs(snap[v] - r); diff > 1e-6*math.Max(1, math.Abs(r)) {
+			return fmt.Errorf("load ledger drift at node %d: ledger %g, recompute %g", v, snap[v], r)
+		}
+	}
+	for v, r := range snap {
+		if _, ok := expect[v]; !ok && math.Abs(r) > 1e-9 {
+			return fmt.Errorf("load ledger books %g on node %d no deployed plan loads", r, v)
 		}
 	}
 

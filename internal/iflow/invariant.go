@@ -27,9 +27,10 @@ import (
 //     kept alive only to feed downstream work — anything else is garbage
 //     Undeploy failed to collect);
 //   - the subscription graph between operators is acyclic;
-//   - transport conservation: transferred bytes equal the fixed tuple
-//     size times the transferred-tuple count, the in-flight ledger is
-//     non-negative, and per-sink byte counts match delivered tuples.
+//   - transport conservation: total bytes equal the fixed tuple size
+//     times the transferred-plus-state-shipped tuple count, the in-flight
+//     ledger is non-negative, and per-sink byte counts match delivered
+//     tuples.
 //
 // It is a read-only audit intended for tests and the chaos harness; cost
 // is linear in operators + subscriptions.
@@ -128,9 +129,13 @@ func (rt *Runtime) CheckInvariants(liveNode func(netgraph.NodeID) bool) error {
 	if rt.TuplesTransferred > rt.TuplesSent {
 		return fmt.Errorf("iflow: %d tuples crossed links but only %d were sent", rt.TuplesTransferred, rt.TuplesSent)
 	}
-	if want := rt.cfg.TupleSize * float64(rt.TuplesTransferred); !approxEq(rt.TotalBytes, want) {
-		return fmt.Errorf("iflow: %d transferred tuples of size %g account %g bytes, runtime recorded %g",
-			rt.TuplesTransferred, rt.cfg.TupleSize, want, rt.TotalBytes)
+	if want := rt.cfg.TupleSize * float64(rt.TuplesTransferred+rt.StateTuplesShipped); !approxEq(rt.TotalBytes, want) {
+		return fmt.Errorf("iflow: %d transferred + %d shipped tuples of size %g account %g bytes, runtime recorded %g",
+			rt.TuplesTransferred, rt.StateTuplesShipped, rt.cfg.TupleSize, want, rt.TotalBytes)
+	}
+	if want := rt.cfg.TupleSize * float64(rt.StateTuplesShipped); !approxEq(rt.StateBytesShipped, want) {
+		return fmt.Errorf("iflow: %d shipped tuples of size %g account %g bytes, runtime recorded %g",
+			rt.StateTuplesShipped, rt.cfg.TupleSize, want, rt.StateBytesShipped)
 	}
 	sids := make([]int, 0, len(rt.sinks))
 	for qid := range rt.sinks {

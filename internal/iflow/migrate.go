@@ -3,6 +3,7 @@ package iflow
 import (
 	"fmt"
 
+	"hnp/internal/netgraph"
 	"hnp/internal/query"
 )
 
@@ -36,6 +37,23 @@ type MigrationReport struct {
 	// migration replaced: every old plan operator torn down plus every
 	// new plan operator instantiated.
 	TeardownOps int
+	// StateShipped counts window and accumulator tuples copied from moved
+	// operators' old hosts to their new ones so moved joins resume with
+	// their windows instead of empty ones.
+	StateShipped int64
+	// BytesShipped is the size of that shipped state in cost units; it is
+	// added to the runtime's TotalBytes — migrating is not free.
+	BytesShipped float64
+	// ShipCost is the bytes×link-cost of shipping that state, added to
+	// the runtime's TotalCost. Adaptive controllers divide it by Delta()
+	// to learn the measured per-operator cost of churn.
+	ShipCost float64
+	// LoadDelta is the per-node input-rate change the migration causes:
+	// the new plan's operator input rates minus the old plan's, keyed by
+	// hosting node. Load trackers fold it in with ApplyDelta instead of
+	// a whole-plan remove+add pair, which would double-count kept
+	// operators' load while both bookings were absent.
+	LoadDelta map[netgraph.NodeID]float64
 }
 
 // Delta returns the operator churn the migration actually cost: creates
@@ -44,8 +62,8 @@ func (m MigrationReport) Delta() int { return m.Created + m.Retired }
 
 // String renders the report for traces and logs.
 func (m MigrationReport) String() string {
-	return fmt.Sprintf("kept=%d created=%d retired=%d moved=%d rewired=%d carried=%d tuples (%.0f bytes; teardown churns %d ops)",
-		m.Kept, m.Created, m.Retired, m.Moved, m.Rewired, m.StateCarried, m.BytesSaved, m.TeardownOps)
+	return fmt.Sprintf("kept=%d created=%d retired=%d moved=%d rewired=%d carried=%d tuples (%.0f bytes) shipped=%d tuples (%.0f bytes; teardown churns %d ops)",
+		m.Kept, m.Created, m.Retired, m.Moved, m.Rewired, m.StateCarried, m.BytesSaved, m.StateShipped, m.BytesShipped, m.TeardownOps)
 }
 
 // Migrate replaces a deployed query's plan by applying the diff between
@@ -130,6 +148,49 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 		}
 	}
 
+	// Ship moved operators' state. A Move is a create+retire pair sharing
+	// a signature: the same logical operator at a new host. Before the old
+	// instance is retired, its join windows and aggregation accumulator
+	// are copied into the new instance — only when the migration itself
+	// created it (a pre-existing shared operator already has its own state
+	// and must not be overwritten). The copy crosses real links: each
+	// shipped tuple is charged to TotalCost/TotalBytes at the old→new
+	// link cost, so migrating under churn pays a measurable price — the
+	// term adaptive hysteresis weighs against predicted savings.
+	for _, mv := range diff.Move {
+		toKey := opKey{sig: mv.Sig, node: mv.To}
+		if !inst.created[toKey] {
+			continue
+		}
+		oldOp, newOp := rt.ops[opKey{sig: mv.Sig, node: mv.From}], rt.ops[toKey]
+		if oldOp == nil || newOp == nil || newOp.isFilter || oldOp.isFilter {
+			continue
+		}
+		linkCost := rt.Cost.Dist(mv.From, mv.To)
+		ship := func(t Tuple) {
+			rt.TotalCost += t.Size * linkCost
+			rt.TotalBytes += t.Size
+			rt.StateTuplesShipped++
+			rt.StateBytesShipped += t.Size
+			rep.StateShipped++
+			rep.BytesShipped += t.Size
+			rep.ShipCost += t.Size * linkCost
+		}
+		for _, t := range oldOp.left {
+			newOp.left = append(newOp.left, t)
+			ship(t)
+		}
+		for _, t := range oldOp.right {
+			newOp.right = append(newOp.right, t)
+			ship(t)
+		}
+		if oldOp.isAgg && newOp.isAgg && oldOp.aggCount > 0 {
+			newOp.aggCount, newOp.aggBorn, newOp.aggNext = oldOp.aggCount, oldOp.aggBorn, oldOp.aggNext
+			ship(Tuple{Size: rt.cfg.TupleSize})
+		}
+	}
+	rt.obsStateShipped.Add(rep.StateShipped)
+
 	// Phase 2 — rewire. Kept operators whose producer set changed get the
 	// new producers subscribed and the stale ones detached. Newly created
 	// consumers were wired at instantiation; retired producers lose their
@@ -150,6 +211,7 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 	// Phase 4 — retire. The old references are dropped and operators no
 	// deployment references and nothing subscribes to are collected,
 	// cascading up chains that lost their last subscriber.
+	rep.LoadDelta = loadDelta(dep.plan, plan)
 	oldHeld := dep.held
 	dep.plan, dep.ir, dep.held = plan, newIR, inst.held
 	rt.release(oldHeld)
@@ -167,6 +229,27 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 	rt.obsMigMoved.Add(int64(rep.Moved))
 	rt.obsMigBytesSaved.Add(rep.BytesSaved)
 	return rep, nil
+}
+
+// loadDelta computes the per-node input-rate change of replacing old with
+// new: new plan operators book positive load at their hosts, old plan
+// operators negative. Kept operators cancel exactly; near-zero residues
+// are dropped so trackers never accumulate float dust for unchanged
+// nodes.
+func loadDelta(old, new *query.PlanNode) map[netgraph.NodeID]float64 {
+	delta := make(map[netgraph.NodeID]float64)
+	for _, op := range new.Operators() {
+		delta[op.Loc] += op.InputRate()
+	}
+	for _, op := range old.Operators() {
+		delta[op.Loc] -= op.InputRate()
+	}
+	for n, v := range delta {
+		if v < 1e-12 && v > -1e-12 {
+			delete(delta, n)
+		}
+	}
+	return delta
 }
 
 // rewire aligns kept operators' upstream wiring with the new plan: for

@@ -257,6 +257,96 @@ func TestRedeployAtomicOnFailure(t *testing.T) {
 	}
 }
 
+// A moved operator's window state must ship to its new host: the new
+// instance resumes with the old windows, and the shipped bytes are
+// charged to the transport totals (migration is not free).
+func TestMigrateShipsMovedState(t *testing.T) {
+	w := makeMigrateWorld(t, 6)
+	planA := w.leftDeep([]netgraph.NodeID{5, 6, 7})
+	planB := w.leftDeep([]netgraph.NodeID{5, 8, 7}) // middle join moves 6 -> 8
+	rt := New(w.g, DefaultConfig(), 23)
+	if err := rt.Deploy(w.q, planA, w.cat, 200); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunFor(50)
+
+	movedSig := w.q.SigOf(query.Mask(7)) // A⋈B⋈C
+	oldOp := rt.Operator(movedSig, 6)
+	if oldOp == nil {
+		t.Fatal("moved join not deployed")
+	}
+	buffered := len(oldOp.left) + len(oldOp.right)
+	if buffered == 0 {
+		t.Fatal("moved join has no window state to ship")
+	}
+	costBefore, bytesBefore := rt.TotalCost, rt.TotalBytes
+
+	rep, err := rt.Migrate(w.q, planB, w.cat, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StateShipped != int64(buffered) {
+		t.Errorf("shipped %d tuples, moved op buffered %d", rep.StateShipped, buffered)
+	}
+	cfg := rt.Config()
+	if want := cfg.TupleSize * float64(rep.StateShipped); rep.BytesShipped != want {
+		t.Errorf("shipped bytes %g, want %g", rep.BytesShipped, want)
+	}
+	if rep.ShipCost <= 0 {
+		t.Error("shipping state across 6 -> 8 cost nothing")
+	}
+	if !approxEq(rt.TotalCost, costBefore+rep.ShipCost) {
+		t.Errorf("TotalCost %g, want %g", rt.TotalCost, costBefore+rep.ShipCost)
+	}
+	if !approxEq(rt.TotalBytes, bytesBefore+rep.BytesShipped) {
+		t.Errorf("TotalBytes %g, want %g", rt.TotalBytes, bytesBefore+rep.BytesShipped)
+	}
+	if rt.StateTuplesShipped != rep.StateShipped {
+		t.Errorf("runtime shipped counter %d, report %d", rt.StateTuplesShipped, rep.StateShipped)
+	}
+	newOp := rt.Operator(movedSig, 8)
+	if newOp == nil {
+		t.Fatal("moved join missing at new host")
+	}
+	if got := len(newOp.left) + len(newOp.right); got != buffered {
+		t.Errorf("new host holds %d window tuples, old held %d", got, buffered)
+	}
+	if err := rt.CheckInvariants(nil); err != nil {
+		t.Fatalf("invariants after shipping migration: %v", err)
+	}
+	rt.RunFor(30)
+	if err := rt.CheckInvariants(nil); err != nil {
+		t.Fatalf("invariants after post-migration run: %v", err)
+	}
+}
+
+// LoadDelta must record exactly the moved operator's input rate leaving
+// its old host and arriving at the new one; kept operators cancel.
+func TestMigrateLoadDelta(t *testing.T) {
+	w := makeMigrateWorld(t, 7)
+	planA := w.leftDeep([]netgraph.NodeID{5, 6, 7})
+	planB := w.leftDeep([]netgraph.NodeID{5, 8, 7})
+	rt := New(w.g, DefaultConfig(), 29)
+	if err := rt.Deploy(w.q, planA, w.cat, 200); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunFor(10)
+	rep, err := rt.Migrate(w.q, planB, w.cat, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedRate := w.rt.Rate(query.Mask(3)) + w.rt.Rate(query.Mask(4)) // A⋈B plus C input
+	if len(rep.LoadDelta) != 2 {
+		t.Fatalf("LoadDelta has %d entries, want 2: %v", len(rep.LoadDelta), rep.LoadDelta)
+	}
+	if got := rep.LoadDelta[6]; got != -movedRate {
+		t.Errorf("LoadDelta[6] = %g, want %g", got, -movedRate)
+	}
+	if got := rep.LoadDelta[8]; got != movedRate {
+		t.Errorf("LoadDelta[8] = %g, want %g", got, movedRate)
+	}
+}
+
 func TestResidualPassProbEdges(t *testing.T) {
 	cases := []struct {
 		narrowed, base, want float64

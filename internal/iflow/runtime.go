@@ -113,6 +113,69 @@ type Operator struct {
 	OutBytes float64
 }
 
+// StateBytes returns the size of the operator's migratable state right
+// now: buffered join-window tuples plus a pending aggregation accumulator.
+// This is exactly what Migrate would ship if the operator moved, so
+// adaptive controllers price a candidate move's churn from it before
+// committing.
+func (op *Operator) StateBytes(tupleSize float64) float64 {
+	var b float64
+	for _, t := range op.left {
+		b += t.Size
+	}
+	for _, t := range op.right {
+		b += t.Size
+	}
+	if op.isAgg && op.aggCount > 0 {
+		b += tupleSize
+	}
+	return b
+}
+
+// Refs returns how many deployment plan nodes currently hold this
+// operator. A migration that releases fewer references than this leaves
+// the operator running — adaptive controllers use the count to predict
+// which retired-from-the-plan operators will actually be collected (and
+// stop consuming transport) versus survive shared by other deployments.
+func (op *Operator) Refs() int { return op.refs }
+
+// ExpRate returns the output rate the planner expected of this operator
+// when it was deployed. Residual filter pass probabilities are derived
+// from it (narrowed rate / base expected rate), so predicting a
+// containment reuse's physical rate requires it alongside the measured
+// base rate.
+func (op *Operator) ExpRate() float64 { return op.expRate }
+
+// ResidualPassProb exposes the pass probability a containment residual
+// filter over a base stream with the given expected rate would use for a
+// reuse narrowed to the given rate — the fraction of upstream tuples the
+// filter forwards.
+func ResidualPassProb(narrowed, base float64) float64 {
+	return residualPassProb(narrowed, base)
+}
+
+// SubscribedBeyond reports whether anything other than the given consumer
+// operator (sig at node) or the given query's sink subscribes to this
+// operator. References alone understate sharing: a containment reuse
+// subscribes a residual filter to its base operator without holding a
+// reference on it, and such a subscriber keeps the operator — and its
+// whole upstream chain — alive through a migration that releases every
+// reference.
+func (op *Operator) SubscribedBeyond(consumerSig string, consumerLoc netgraph.NodeID, queryID int) bool {
+	for _, s := range op.subs {
+		if s.sink >= 0 {
+			if s.sink != queryID {
+				return true
+			}
+			continue
+		}
+		if s.dst.sig != consumerSig || s.dst.node != consumerLoc {
+			return true
+		}
+	}
+	return false
+}
+
 // SinkStats accumulates per-query delivery statistics.
 type SinkStats struct {
 	Node       netgraph.NodeID
@@ -178,6 +241,14 @@ type Runtime struct {
 	// harness checks.
 	TuplesSent    int64
 	tuplesSettled int64
+	// StateTuplesShipped / StateBytesShipped count window and accumulator
+	// tuples Migrate copied from a moved operator's old host to its new
+	// one. Shipped state crosses links synchronously (it is not re-sent
+	// through the transport), so it is accounted separately from
+	// TuplesTransferred; the conservation invariant ties TotalBytes to the
+	// sum of both.
+	StateTuplesShipped int64
+	StateBytesShipped  float64
 
 	// Telemetry handles (nil until BindObs; all nil-safe no-ops then).
 	obsTransferred *obs.Counter
@@ -192,6 +263,7 @@ type Runtime struct {
 	obsMigRetired    *obs.Counter
 	obsMigMoved      *obs.Counter
 	obsMigBytesSaved *obs.Gauge
+	obsStateShipped  *obs.Counter
 }
 
 // deployment records one query's hold on the runtime: the query, the
@@ -224,6 +296,7 @@ func (rt *Runtime) BindObs(reg *obs.Registry) {
 	rt.obsMigRetired = reg.Counter("iflow.migrate_ops_retired")
 	rt.obsMigMoved = reg.Counter("iflow.migrate_ops_moved")
 	rt.obsMigBytesSaved = reg.Gauge("iflow.migrate_bytes_saved")
+	rt.obsStateShipped = reg.Counter("iflow.state_shipped")
 }
 
 // New builds a runtime over a network. Streams route along cost-shortest
@@ -393,9 +466,11 @@ func (rt *Runtime) StartSource(sig string, node netgraph.NodeID, rate float64, u
 			Born: rt.Sim.Now(),
 		}
 		rt.emit(op, t)
-		rt.Sim.Schedule(rt.rng.ExpFloat64()/rate, tick)
+		// Read the rate from the operator (not the captured argument) so
+		// SetSourceRate retunes the very next inter-arrival gap.
+		rt.Sim.Schedule(rt.rng.ExpFloat64()/op.rate, tick)
 	}
-	rt.Sim.Schedule(rt.rng.ExpFloat64()/rate, tick)
+	rt.Sim.Schedule(rt.rng.ExpFloat64()/op.rate, tick)
 	return op, nil
 }
 
@@ -440,15 +515,16 @@ func (rt *Runtime) CostRate() float64 {
 // statistics. Counts are exact; every derived rate guards the zero-time
 // window, so a freshly built runtime reports zeros, not NaNs.
 type Stats struct {
-	TuplesTransferred int64
-	TuplesDropped     int64
-	WindowExpired     int64
-	TuplesSent        int64
-	TuplesInFlight    int64
-	TotalCost         float64
-	TotalBytes        float64
-	Elapsed           float64
-	Operators         int
+	TuplesTransferred  int64
+	TuplesDropped      int64
+	WindowExpired      int64
+	TuplesSent         int64
+	TuplesInFlight     int64
+	StateTuplesShipped int64
+	TotalCost          float64
+	TotalBytes         float64
+	Elapsed            float64
+	Operators          int
 }
 
 // CostRate returns TotalCost per second of elapsed virtual time (0 when
@@ -463,15 +539,16 @@ func (s Stats) CostRate() float64 {
 // Stats snapshots the runtime's transport counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
-		TuplesTransferred: rt.TuplesTransferred,
-		TuplesDropped:     rt.TuplesDropped,
-		WindowExpired:     rt.WindowExpired,
-		TuplesSent:        rt.TuplesSent,
-		TuplesInFlight:    rt.InFlight(),
-		TotalCost:         rt.TotalCost,
-		TotalBytes:        rt.TotalBytes,
-		Elapsed:           rt.Sim.Now(),
-		Operators:         len(rt.ops),
+		TuplesTransferred:  rt.TuplesTransferred,
+		TuplesDropped:      rt.TuplesDropped,
+		WindowExpired:      rt.WindowExpired,
+		TuplesSent:         rt.TuplesSent,
+		TuplesInFlight:     rt.InFlight(),
+		StateTuplesShipped: rt.StateTuplesShipped,
+		TotalCost:          rt.TotalCost,
+		TotalBytes:         rt.TotalBytes,
+		Elapsed:            rt.Sim.Now(),
+		Operators:          len(rt.ops),
 	}
 }
 

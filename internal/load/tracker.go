@@ -88,6 +88,42 @@ func (t *Tracker) RemovePlan(plan *query.PlanNode) {
 	t.publishLocked()
 }
 
+// ApplyDelta folds a per-node load change into the ledger — the
+// accounting path for plan migrations. A migration keeps shared operators
+// running, so the whole-plan RemovePlan+AddPlan pair is wrong for it: in
+// between the two calls the kept operators' load is absent (any
+// concurrent penalty reads a hole), and operators the old and new plan
+// book at different rates (recalibrated statistics) leave residue.
+// Folding iflow.MigrationReport.LoadDelta moves exactly the changed
+// operators' load in one locked step. Entries that cancel to ~zero are
+// removed so unchanged nodes never accumulate float dust.
+func (t *Tracker) ApplyDelta(delta map[netgraph.NodeID]float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for v, d := range delta {
+		next := t.load[v] + d
+		if next <= 1e-12 && next >= -1e-12 {
+			delete(t.load, v)
+			continue
+		}
+		t.load[v] = next
+	}
+	t.publishLocked()
+}
+
+// Snapshot returns a copy of the per-node ledger, for audits that
+// recompute expected load from live deployments and assert equality (the
+// chaos harness does this after every migration).
+func (t *Tracker) Snapshot() map[netgraph.NodeID]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[netgraph.NodeID]float64, len(t.load))
+	for v, r := range t.load {
+		out[v] = r
+	}
+	return out
+}
+
 // AddRaw adds synthetic background load to a node (e.g. an overloaded
 // enterprise server).
 func (t *Tracker) AddRaw(v netgraph.NodeID, inRate float64) {

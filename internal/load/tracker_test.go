@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"hnp/internal/netgraph"
 	"hnp/internal/query"
 )
 
@@ -43,6 +44,55 @@ func TestDerivedLeafAddsNothing(t *testing.T) {
 	}
 	if got := tr.Load(3); math.Abs(got-12) > 1e-9 {
 		t.Errorf("Load(3) = %g, want 12", got)
+	}
+}
+
+// ApplyDelta must equal the remove-then-add outcome without ever passing
+// through the intermediate hole, and cancel-to-zero entries must leave
+// the ledger (no float dust on unchanged nodes).
+func TestApplyDeltaMatchesRecompute(t *testing.T) {
+	tr := NewTracker()
+	old := samplePlan()
+	tr.AddPlan(old)
+
+	// A "migration": the top join (inputs 5+7) moves from node 2 to 3.
+	l0 := query.Leaf(query.Input{Mask: 1, Rate: 10, Loc: 0, Sig: "0"})
+	l1 := query.Leaf(query.Input{Mask: 2, Rate: 20, Loc: 4, Sig: "1"})
+	j := query.Join(l0, l1, 2, 5)
+	l2 := query.Leaf(query.Input{Mask: 4, Rate: 7, Loc: 6, Sig: "2"})
+	new := query.Join(j, l2, 3, 1)
+
+	tr.ApplyDelta(map[netgraph.NodeID]float64{2: -12, 3: 12})
+
+	// The ledger now equals a fresh AddPlan of the new plan.
+	want := NewTracker()
+	want.AddPlan(new)
+	got, exp := tr.Snapshot(), want.Snapshot()
+	if len(got) != len(exp) {
+		t.Fatalf("ledger %v, recompute %v", got, exp)
+	}
+	for v, r := range exp {
+		if math.Abs(got[v]-r) > 1e-9 {
+			t.Errorf("Load(%d) = %g, recompute %g", v, got[v], r)
+		}
+	}
+
+	// Reversing the move cancels node 3 exactly: the entry is deleted,
+	// not left as ±1e-16 residue.
+	tr.ApplyDelta(map[netgraph.NodeID]float64{3: -12, 2: 12})
+	if _, ok := tr.Snapshot()[3]; ok {
+		t.Error("cancelled node 3 still in the ledger")
+	}
+}
+
+// Snapshot is a copy: mutating it must not touch the tracker.
+func TestSnapshotIsolated(t *testing.T) {
+	tr := NewTracker()
+	tr.AddRaw(1, 10)
+	s := tr.Snapshot()
+	s[1] = 999
+	if got := tr.Load(1); got != 10 {
+		t.Errorf("snapshot mutation leaked: Load(1) = %g", got)
 	}
 }
 
