@@ -11,15 +11,24 @@
 //
 //	go run ./cmd/benchjson -benchtime 10x -o BENCH_planner.json
 //
+// With -compare the fresh run is diffed against a committed baseline and
+// the process exits non-zero on regression — more than 25% ns/op (tune
+// with -threshold) or ANY allocs/op increase:
+//
+//	go run ./cmd/benchjson -benchtime 100x -compare BENCH_planner.json
+//
 // Compare two files with the trajectory in mind: ns_per_op and
 // plans_per_sec are hardware-relative, allocs_per_op and bytes_per_op are
 // not — an allocs/op regression is a real regression on any machine.
+// That asymmetry is why the ns/op gate carries a generous tolerance
+// while the allocs/op gate carries none.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -155,6 +164,8 @@ func main() {
 	var (
 		benchtime = flag.String("benchtime", "1s", "per-benchmark budget (testing syntax: 1s, 100x, ...)")
 		outPath   = flag.String("o", "BENCH_planner.json", "output file ('-' for stdout)")
+		compare   = flag.String("compare", "", "baseline BENCH_planner.json to diff this run against; exit 3 on regression")
+		threshold = flag.Float64("threshold", 0.25, "ns/op regression tolerance for -compare, as a fraction (allocs/op tolerates nothing)")
 	)
 	testing.Init()
 	flag.Parse()
@@ -390,11 +401,88 @@ func main() {
 	buf = append(buf, '\n')
 	if *outPath == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
 	}
-	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+
+	if *compare != "" {
+		base, err := loadTrajectory(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions := diffTrajectories(os.Stdout, base, traj, *threshold); regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed vs %s\n", regressions, *compare)
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s\n", *compare)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+}
+
+// loadTrajectory reads and validates a previously written trajectory.
+func loadTrajectory(path string) (trajectory, error) {
+	var t trajectory
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(buf, &t); err != nil {
+		return t, fmt.Errorf("%s: %w", path, err)
+	}
+	if t.Schema != "hnp-bench/v1" {
+		return t, fmt.Errorf("%s: unsupported schema %q", path, t.Schema)
+	}
+	return t, nil
+}
+
+// diffTrajectories prints a per-benchmark diff of cur against base and
+// returns how many benchmarks regressed: ns/op beyond the tolerance
+// (hardware-relative, hence the slack) or any allocs/op increase
+// (hardware-independent, hence none). Benchmarks present on only one
+// side are reported but never counted as regressions — renames and
+// additions are trajectory changes, not slowdowns.
+func diffTrajectories(w io.Writer, base, cur trajectory, tol float64) int {
+	byName := map[string]benchResult{}
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "baseline %s/%s go %s benchtime %s; this run benchtime %s; ns/op tolerance +%.0f%%\n",
+		base.GOOS, base.GOARCH, base.GoVersion, base.Benchtime, cur.Benchtime, tol*100)
+	regressions := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-16s new (no baseline entry)\n", c.Name)
+			continue
+		}
+		delete(byName, c.Name)
+		verdict := "ok"
+		var pct float64
+		if b.NsPerOp > 0 {
+			pct = 100 * (float64(c.NsPerOp) - float64(b.NsPerOp)) / float64(b.NsPerOp)
+			if float64(c.NsPerOp) > float64(b.NsPerOp)*(1+tol) {
+				verdict = "REGRESSION ns/op"
+			}
+		}
+		if c.AllocsOp > b.AllocsOp {
+			if verdict == "ok" {
+				verdict = "REGRESSION allocs/op"
+			} else {
+				verdict += "+allocs/op"
+			}
+		}
+		if verdict != "ok" {
+			regressions++
+		}
+		fmt.Fprintf(w, "%-16s ns/op %10d -> %10d (%+6.1f%%)  allocs/op %5d -> %5d  %s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, pct, b.AllocsOp, c.AllocsOp, verdict)
+	}
+	for name := range byName {
+		fmt.Fprintf(w, "%-16s dropped (in baseline, not in this run)\n", name)
+	}
+	return regressions
 }

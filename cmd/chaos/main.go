@@ -25,8 +25,10 @@
 // bytes, which holds on the pinned validation seeds (3, 6, 8, 9).
 //
 // A violation prints the offending seed and its full replayable event
-// trace and exits non-zero; re-running with -seed0 <seed> -seeds 1
-// reproduces the identical run, event for event.
+// trace, dumps the flight recorder's causal event history (the decision
+// chain behind the failure) to <flight-dir>/chaos-flight-seed<N>.jsonl,
+// and exits non-zero; re-running with -seed0 <seed> -seeds 1 reproduces
+// the identical run, event for event.
 package main
 
 import (
@@ -36,27 +38,29 @@ import (
 	"sort"
 
 	"hnp/internal/chaos"
+	"hnp/internal/obs"
 )
 
 func main() {
 	var (
-		seeds   = flag.Int("seeds", 20, "number of consecutive seeds to run")
-		seed0   = flag.Int64("seed0", 1, "first seed")
-		events  = flag.Int("events", 200, "events per run")
-		nodes   = flag.Int("nodes", 24, "network size")
-		maxcs   = flag.Int("maxcs", 6, "hierarchy cluster size cap")
-		streams = flag.Int("streams", 8, "base streams in the catalog")
-		queries = flag.Int("queries", 10, "query pool size")
-		step    = flag.Float64("step", 0.4, "mean virtual seconds between events")
-		migrate = flag.Bool("migrate", false, "add plan-migration churn: deployed queries are re-planned and diff-migrated in place")
-		adapt   = flag.Bool("adapt", false, "run the rate-shift adaptation comparison: never-migrate vs always-remigrate vs gated controller on a shared schedule")
-		strict  = flag.Bool("strict", false, "with -adapt, fail unless the controller strictly beats both baselines on total bytes")
-		verbose = flag.Bool("v", false, "print every run's event trace")
+		seeds     = flag.Int("seeds", 20, "number of consecutive seeds to run")
+		seed0     = flag.Int64("seed0", 1, "first seed")
+		events    = flag.Int("events", 200, "events per run")
+		nodes     = flag.Int("nodes", 24, "network size")
+		maxcs     = flag.Int("maxcs", 6, "hierarchy cluster size cap")
+		streams   = flag.Int("streams", 8, "base streams in the catalog")
+		queries   = flag.Int("queries", 10, "query pool size")
+		step      = flag.Float64("step", 0.4, "mean virtual seconds between events")
+		migrate   = flag.Bool("migrate", false, "add plan-migration churn: deployed queries are re-planned and diff-migrated in place")
+		adapt     = flag.Bool("adapt", false, "run the rate-shift adaptation comparison: never-migrate vs always-remigrate vs gated controller on a shared schedule")
+		strict    = flag.Bool("strict", false, "with -adapt, fail unless the controller strictly beats both baselines on total bytes")
+		verbose   = flag.Bool("v", false, "print every run's event trace")
+		flightDir = flag.String("flight-dir", ".", "directory for flight-recorder JSONL dumps on invariant violations")
 	)
 	flag.Parse()
 
 	if *adapt {
-		os.Exit(runAdapt(*seed0, *seeds, *strict))
+		os.Exit(runAdapt(*seed0, *seeds, *strict, *flightDir))
 	}
 
 	failures := 0
@@ -79,6 +83,7 @@ func main() {
 		if err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr, "FAIL %v\ntrace:\n%s\n", err, rep.TraceString())
+			dumpFlight(*flightDir, cfg.Seed, rep.Flight)
 			continue
 		}
 		fmt.Printf("seed %-4d ok  events=%d %s transferred=%d delivered=%d dropped=%d deployed=%d cost=%.1f\n",
@@ -99,7 +104,7 @@ func main() {
 // migration policies and reports the byte totals side by side. Returns
 // the process exit code: non-zero on invariant violations, controller
 // oscillation, or (with strict) a failure to beat either baseline.
-func runAdapt(seed0 int64, seeds int, strict bool) int {
+func runAdapt(seed0 int64, seeds int, strict bool, flightDir string) int {
 	failures := 0
 	for i := 0; i < seeds; i++ {
 		cfg := chaos.RateShiftConfig(seed0 + int64(i))
@@ -107,6 +112,13 @@ func runAdapt(seed0 int64, seeds int, strict bool) int {
 		if err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", cfg.Seed, err)
+			// The last outcome with a flight is the run that failed.
+			for j := len(out) - 1; j >= 0; j-- {
+				if len(out[j].Report.Flight) > 0 {
+					dumpFlight(flightDir, cfg.Seed, out[j].Report.Flight)
+					break
+				}
+			}
 			continue
 		}
 		never, always, ctl := out[0], out[1], out[2]
@@ -132,6 +144,27 @@ func runAdapt(seed0 int64, seeds int, strict bool) int {
 		return 1
 	}
 	return 0
+}
+
+// dumpFlight writes a violated run's flight-recorder history as JSONL so
+// the causal chain behind the failure survives the process (CI uploads
+// these as artifacts).
+func dumpFlight(dir string, seed int64, events []obs.Event) {
+	if len(events) == 0 {
+		return
+	}
+	path := fmt.Sprintf("%s/chaos-flight-seed%d.jsonl", dir, seed)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: flight dump: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := obs.WriteEventsJSONL(f, events); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: flight dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight recorder dumped to %s (%d events)\n", path, len(events))
 }
 
 func countString(counts map[string]int) string {

@@ -10,7 +10,8 @@
 //	smq -fig 9 -seed 7           # different randomness
 //	smq -fig all -parallel=false # single-goroutine run (same output)
 //	smq -explain                 # annotated per-level planner search trace
-//	smq -fig all -debug-addr :6060  # live /metrics, expvar and pprof
+//	smq -explain -trace          # + causal lifecycle timeline per query
+//	smq -fig all -debug-addr :6060  # live /metrics, /flight, /trace, expvar, pprof
 //
 // By default figures are computed concurrently (and each figure's
 // internal sweeps fan out across cores); output is bit-identical to a
@@ -31,7 +32,12 @@
 // -debug-addr serves expvar (/debug/vars, including the process-wide
 // telemetry under "hnp"), pprof (/debug/pprof/) and a JSON telemetry
 // snapshot (/metrics) while figures compute; it also turns telemetry on,
-// so per-figure progress counters (exp.fig*.units_done) tick live.
+// so per-figure progress counters (exp.fig*.units_done) tick live. With
+// -trace it additionally serves the flight recorder: /flight dumps the
+// ring as JSONL and /trace?query=N renders one query's causal timeline.
+// Figure harnesses use private registries, so the recorder is populated
+// by the -explain scenario (combine -explain -trace -debug-addr; the
+// server stays up after the narrative so the recording can be queried).
 package main
 
 import (
@@ -40,8 +46,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hnp"
@@ -61,18 +69,29 @@ func main() {
 		format    = flag.String("format", "table", "output format: table or csv")
 		parallel  = flag.Bool("parallel", true, "compute figures and their sweeps concurrently (output is identical either way)")
 		explain   = flag.Bool("explain", false, "print an annotated planner search narrative for a canned scenario and exit")
-		debugAddr = flag.String("debug-addr", "", "serve expvar, pprof and /metrics on this address (e.g. :6060) while running")
+		trace     = flag.Bool("trace", false, "arm the causal flight recorder; with -explain appends per-query lifecycle timelines, with -debug-addr serves the recording at /flight and /trace")
+		debugAddr = flag.String("debug-addr", "", "serve expvar, pprof, /metrics, /flight and /trace?query=N on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
 
+	if *trace {
+		obs.Default.Tracer().Enable()
+	}
 	if *debugAddr != "" {
 		hnp.EnableTelemetry()
 		serveDebug(*debugAddr)
 	}
 	if *explain {
-		if err := runExplain(*seed); err != nil {
+		if err := runExplain(*seed, *trace); err != nil {
 			fmt.Fprintf(os.Stderr, "smq: explain: %v\n", err)
 			os.Exit(1)
+		}
+		if *debugAddr != "" {
+			// Keep serving so the recorded flight can be queried after the
+			// narrative finishes: /flight and /trace?query=N now read the
+			// explain scenario's registry.
+			fmt.Fprintf(os.Stderr, "smq: explain done; debug surface still serving on %s (interrupt to exit)\n", *debugAddr)
+			select {}
 		}
 		return
 	}
@@ -153,16 +172,29 @@ func main() {
 	}
 }
 
+// traceSrc points at the registry whose flight recorder the debug
+// endpoints serve: the process-wide default, switched to the explain
+// scenario's private registry once -explain builds its system.
+var traceSrc atomic.Pointer[obs.Registry]
+
+func init() { traceSrc.Store(obs.Default) }
+
 // runExplain deploys two overlapping queries on a canned 128-node system
 // with both hierarchical algorithms and prints each planner's annotated
 // search narrative, demonstrates a diff-based live migration after a
 // mid-flight rate shift, then prints the system telemetry snapshot.
-func runExplain(seed int64) error {
+// With trace armed, it closes with the flight recorder's causal timeline
+// for each query: planned → deployed → calibrated → gated → migrated.
+func runExplain(seed int64, trace bool) error {
 	hnp.EnableTelemetry()
 	g := hnp.TransitStubNetwork(128, seed)
 	sys, err := hnp.NewSystem(g, 32, seed)
 	if err != nil {
 		return err
+	}
+	if trace {
+		sys.Obs.Tracer().Enable()
+		traceSrc.Store(sys.Obs)
 	}
 	a := sys.AddStream("FLIGHTS", 40, 17)
 	b := sys.AddStream("WEATHER", 25, 93)
@@ -254,12 +286,23 @@ func runExplain(seed int64) error {
 	fmt.Printf("predicted savings %.0f bytes/s; final plan %s\n",
 		st.PredictedSavings, ctl.Plan(td.Query.ID))
 
+	if trace {
+		evs := sys.Obs.Tracer().Snapshot()
+		for _, qid := range []int{warm.Query.ID, td.Query.ID} {
+			fmt.Printf("\n=== causal timeline: query %d ===\n", qid)
+			if err := obs.RenderTimeline(os.Stdout, obs.FilterTrace(evs, obs.QueryTrace(qid))); err != nil {
+				return err
+			}
+		}
+	}
+
 	fmt.Println("\n=== telemetry snapshot ===")
 	return obs.TextSink{W: os.Stdout}.Emit(sys.Snapshot())
 }
 
-// serveDebug exposes expvar, pprof and a JSON telemetry snapshot in the
-// background for the lifetime of the process.
+// serveDebug exposes expvar, pprof, a JSON telemetry snapshot, and the
+// flight recorder (raw JSONL at /flight, causal timelines at
+// /trace?query=N) in the background for the lifetime of the process.
 func serveDebug(addr string) {
 	obs.PublishExpvar("hnp", obs.Default)
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -268,10 +311,31 @@ func serveDebug(addr string) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	http.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := traceSrc.Load().Tracer().WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	http.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		events := traceSrc.Load().Tracer().Snapshot()
+		if q := r.URL.Query().Get("query"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "trace: query must be an integer query ID", http.StatusBadRequest)
+				return
+			}
+			events = obs.FilterTrace(events, obs.QueryTrace(n))
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := obs.RenderTimeline(w, events); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "smq: debug server: %v\n", err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "smq: debug surface on http://%s (/debug/vars, /debug/pprof/, /metrics)\n", addr)
+	fmt.Fprintf(os.Stderr, "smq: debug surface on http://%s (/debug/vars, /debug/pprof/, /metrics, /flight, /trace?query=N)\n", addr)
 }

@@ -208,6 +208,11 @@ type Controller struct {
 	obsDrift      *obs.Gauge
 	obsPredicted  *obs.Gauge
 	obsRealized   *obs.Gauge
+
+	// tr is the flight recorder shared with the binding registry; every
+	// calibration window and gate decision is emitted there, causally
+	// chained measurement → gates → migration.
+	tr *obs.Tracer
 }
 
 // New builds a controller over a runtime. replan produces a fresh plan
@@ -241,6 +246,7 @@ func (c *Controller) BindObs(reg *obs.Registry) {
 	c.obsDrift = reg.Gauge("adapt.drift")
 	c.obsPredicted = reg.Gauge("adapt.predicted_savings")
 	c.obsRealized = reg.Gauge("adapt.realized_savings")
+	c.tr = reg.Tracer()
 }
 
 // Track places a deployed query under control. The plan must be the one
@@ -341,9 +347,24 @@ func (c *Controller) Step() {
 	}
 	c.obsDrift.Set(maxDrift)
 
+	traceOn := c.tr.On()
+	var measEvs map[int]uint64
+	if traceOn {
+		measEvs = make(map[int]uint64, len(c.order))
+	}
 	for _, qid := range c.order {
 		t := c.tracked[qid]
-		c.rt.Calibrate(c.cat, t.q, t.plan, c.win)
+		updated := c.rt.Calibrate(c.cat, t.q, t.plan, c.win)
+		if traceOn {
+			// The measurement is the root of this query's decision chain
+			// for the interval: drift observed over the window and the
+			// number of catalog statistics recalibrated from it.
+			measEvs[qid] = c.tr.Emit(obs.Event{
+				Kind: obs.KindCalibrationWindow, Trace: obs.QueryTrace(qid),
+				Query: qid, Node: obs.NoID, VTime: now,
+				Value: drifts[qid], Aux: float64(updated),
+			})
+		}
 	}
 
 	graphChanged := c.rt.G.Version() != c.lastVersion
@@ -355,10 +376,13 @@ func (c *Controller) Step() {
 		t := c.tracked[qid]
 		c.stats.Checks++
 		c.obsChecks.Inc()
+		chain := measEvs[qid] // 0 when the recorder is disarmed
 		if c.cfg.Mode != ModeAlways && drifts[qid] < c.cfg.DriftThreshold &&
 			!graphChanged && !t.pending {
+			c.emitGate(&chain, qid, now, "drift", false, drifts[qid], c.cfg.DriftThreshold)
 			continue
 		}
+		c.emitGate(&chain, qid, now, "drift", true, drifts[qid], c.cfg.DriftThreshold)
 
 		rates := query.BuildRates(c.cat, t.q)
 		fresh, err := c.replan(t.q)
@@ -371,6 +395,7 @@ func (c *Controller) Step() {
 		diff := t.q.Diff(t.plan, fresh)
 		if diff.Delta() == 0 {
 			t.pending = false
+			c.emitGate(&chain, qid, now, "delta", false, 0, 0)
 			continue // the fresh plan is the running plan
 		}
 		// The decision is byte-denominated end to end: migrations are
@@ -392,8 +417,10 @@ func (c *Controller) Step() {
 			if gain <= c.cfg.MinRelGain*math.Abs(curBytes) {
 				t.pending = false // noise, not a deferred opportunity
 				c.suppress(&c.stats.SuppressedDeadband)
+				c.emitGate(&chain, qid, now, "deadband", false, gain, c.cfg.MinRelGain*math.Abs(curBytes))
 				continue
 			}
+			c.emitGate(&chain, qid, now, "deadband", true, gain, c.cfg.MinRelGain*math.Abs(curBytes))
 			// Price the migration's churn from what it would actually
 			// ship: each moved operator's live state, measured now, plus
 			// the per-operator overhead EWMA for the rest of the delta.
@@ -406,20 +433,30 @@ func (c *Controller) Step() {
 			if gain*c.cfg.Horizon <= c.cfg.Hysteresis*churn {
 				t.pending = true
 				c.suppress(&c.stats.SuppressedHysteresis)
+				c.emitGate(&chain, qid, now, "hysteresis", false, gain*c.cfg.Horizon, c.cfg.Hysteresis*churn)
 				continue
 			}
+			c.emitGate(&chain, qid, now, "hysteresis", true, gain*c.cfg.Horizon, c.cfg.Hysteresis*churn)
 			if t.lastMigrate > 0 && now-t.lastMigrate < c.cfg.Cooldown {
 				t.pending = true
 				c.suppress(&c.stats.SuppressedCooldown)
+				c.emitGate(&chain, qid, now, "cooldown", false, now-t.lastMigrate, c.cfg.Cooldown)
 				continue
 			}
+			c.emitGate(&chain, qid, now, "cooldown", true, now-t.lastMigrate, c.cfg.Cooldown)
 			if t.prevSig != "" && fresh.String() == t.prevSig && now-t.lastMigrate < c.cfg.RevertHoldoff {
 				t.pending = true
 				c.suppress(&c.stats.SuppressedRevert)
+				c.emitGate(&chain, qid, now, "revert", false, now-t.lastMigrate, c.cfg.RevertHoldoff)
 				continue
 			}
+			c.emitGate(&chain, qid, now, "revert", true, now-t.lastMigrate, c.cfg.RevertHoldoff)
 		}
 
+		// Parent the runtime's MigrationApplied/RolledBack event on the
+		// last gate decision, closing the causal chain measurement →
+		// gates → migration.
+		c.rt.SetTraceParent(chain)
 		rep, err := c.rt.Migrate(t.q, fresh, c.cat, c.until)
 		if err != nil {
 			continue
@@ -459,6 +496,21 @@ func (c *Controller) Step() {
 func (c *Controller) suppress(counter *int) {
 	*counter++
 	c.obsSuppressed.Inc()
+}
+
+// emitGate records one gate decision in the flight recorder, chained on
+// the previous event of the query's decision chain, and advances the
+// chain to the new event. A disarmed recorder costs one atomic load and
+// leaves the chain untouched.
+func (c *Controller) emitGate(chain *uint64, qid int, now float64, gate string, pass bool, value, aux float64) {
+	if !c.tr.On() {
+		return
+	}
+	*chain = c.tr.Emit(obs.Event{
+		Kind: obs.KindGateDecision, Parent: *chain, Trace: obs.QueryTrace(qid),
+		Query: qid, Node: obs.NoID, VTime: now,
+		Gate: gate, Pass: pass, Value: value, Aux: aux,
+	})
 }
 
 // drift returns the worst relative observed-vs-assumed rate drift across

@@ -44,10 +44,12 @@ func CompareAdaptPolicies(cfg Config) ([3]PolicyOutcome, error) {
 			return out, err
 		}
 		rep, err := w.Run()
+		out[i] = PolicyOutcome{Mode: m, Report: rep}
 		if err != nil {
+			// The partial outcome stays in out so callers can dump the
+			// failing run's flight recorder.
 			return out, fmt.Errorf("mode %d: %w", m, err)
 		}
-		out[i] = PolicyOutcome{Mode: m, Report: rep}
 	}
 	return out, nil
 }

@@ -18,6 +18,7 @@ package chaos
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"hnp/internal/iflow"
 	"hnp/internal/load"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 	"hnp/internal/workload"
 )
@@ -195,6 +197,18 @@ type World struct {
 	counts    [9]int
 	prev      iflow.Stats
 	prevSinks map[int]sinkBase
+
+	// obsReg carries the run's always-armed flight recorder: every causal
+	// trace event the stack emits (deploys, calibration windows, gate
+	// decisions, migrations, invariant audits) lands in its ring buffer,
+	// so a violation's report can be accompanied by the decision history
+	// that led to it. Metric collection stays gated on obs.Enabled; only
+	// the tracer is armed unconditionally.
+	obsReg *obs.Registry
+	// forcedErr, when non-empty, makes the next invariant audit report a
+	// violation — a test hook for exercising the flight-recorder dump path
+	// without needing a real bug.
+	forcedErr string
 }
 
 // Report summarizes a finished (or violated) run.
@@ -211,6 +225,10 @@ type Report struct {
 	// Oscillations counts A→B→A plan flips across controller migrations.
 	Oscillations int
 	Trace        []Event
+	// Flight is the flight recorder's retained causal event history at
+	// report time (oldest first) — on a violation, the decision chain
+	// that led there. Dump with obs.WriteEventsJSONL.
+	Flight []obs.Event
 }
 
 // TraceString renders the full replayable event trace.
@@ -262,7 +280,11 @@ func New(cfg Config) (*World, error) {
 		liveRates: map[query.StreamID]float64{},
 		planHist:  map[int][]string{},
 		prevSinks: map[int]sinkBase{},
+		obsReg:    obs.NewRegistry(),
 	}
+	w.obsReg.Tracer().Enable()
+	w.rt.BindObs(w.obsReg)
+	w.h.BindObs(w.obsReg)
 	for i := 0; i < wl.Catalog.NumStreams(); i++ {
 		w.liveRates[query.StreamID(i)] = wl.Catalog.Stream(query.StreamID(i)).Rate
 	}
@@ -289,6 +311,22 @@ func New(cfg Config) (*World, error) {
 	}
 	return w, nil
 }
+
+// Tracer exposes the run's always-armed flight recorder — the causal
+// event history behind a violation, or the raw material for timeline
+// reconstruction in tests.
+func (w *World) Tracer() *obs.Tracer { return w.obsReg.Tracer() }
+
+// DumpFlight writes the flight recorder's retained events as JSONL,
+// oldest first.
+func (w *World) DumpFlight(out io.Writer) error {
+	return w.obsReg.Tracer().WriteJSONL(out)
+}
+
+// FailNextCheck forces the next invariant audit to report the given
+// violation. Test hook: it exercises the violation-to-flight-dump path
+// without needing a real bug.
+func (w *World) FailNextCheck(msg string) { w.forcedErr = msg }
 
 // Run executes the schedule, checking every invariant after every event,
 // then quiesces the simulation (sources end, in-flight tuples drain) and
@@ -357,6 +395,7 @@ func (w *World) report() Report {
 		Stats:        st,
 		Oscillations: w.oscillations,
 		Trace:        w.trace,
+		Flight:       w.obsReg.Tracer().Snapshot(),
 	}
 	if w.ctl != nil {
 		r.Adapt = w.ctl.Stats()
@@ -397,6 +436,7 @@ func (w *World) startRateShift() error {
 	}
 	if w.cfg.Adapt != nil {
 		w.ctl = adapt.New(w.rt, w.cat, w.ctlReplan, *w.cfg.Adapt)
+		w.ctl.BindObs(w.obsReg)
 		w.ctl.OnMigrate = w.onCtlMigrate
 		for _, q := range w.pool {
 			w.ctl.Track(q, w.plans[q.ID])

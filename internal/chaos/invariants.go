@@ -5,9 +5,36 @@ import (
 	"math"
 
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 )
 
-// check audits every cross-cutting invariant after an event has fully
+// check runs the full invariant audit and records its verdict in the
+// flight recorder: a passing audit leaves one KindInvariantChecked event
+// (Pass=true), a violation leaves the same event carrying the violation
+// text — the last entry in a dumped flight, preceded by the causal
+// history that led there.
+func (w *World) check() error {
+	err := w.audit()
+	if w.forcedErr != "" {
+		if err == nil {
+			err = fmt.Errorf("forced invariant violation: %s", w.forcedErr)
+		}
+		w.forcedErr = ""
+	}
+	if tr := w.obsReg.Tracer(); tr.On() {
+		ev := obs.Event{
+			Kind: obs.KindInvariantChecked, Query: obs.NoID, Node: obs.NoID,
+			VTime: w.rt.Sim.Now(), Pass: err == nil,
+		}
+		if err != nil {
+			ev.Detail = err.Error()
+		}
+		tr.Emit(ev)
+	}
+	return err
+}
+
+// audit checks every cross-cutting invariant after an event has fully
 // applied. Each layer's internal audit runs first, then the properties
 // that span layers: hierarchy membership must mirror node liveness,
 // every path snapshot must be fresh for the current graph, the runtime's
@@ -16,7 +43,7 @@ import (
 // — global transport statistics and per-query delivery statistics — must
 // be monotone across the run (recoveries preserve history; only an
 // explicit re-arrival resets a query's baseline).
-func (w *World) check() error {
+func (w *World) audit() error {
 	// Layer-internal audits.
 	if err := w.h.CheckInvariants(); err != nil {
 		return err

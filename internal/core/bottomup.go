@@ -33,6 +33,7 @@ func BottomUp(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg *a
 func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg *ads.Registry, opts Options) (Result, error) {
 	sp := obs.StartSpan(opts.Obs, "core.bottomup.plan")
 	defer sp.End()
+	started := emitPlanStarted(opts, q, "bottomup")
 	po := newPlannerObs(opts.Obs, "bottomup")
 	rt := query.BuildRates(cat, q)
 	full := q.All()
@@ -164,14 +165,16 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 	if levels == 0 {
 		levels = 1 // single-source query: registration only
 	}
-	return Result{
+	res := Result{
 		Plan:            final,
 		Cost:            final.Cost(h.Paths().Dist, q.Sink),
 		PlansConsidered: plans,
 		ClustersPlanned: clusters,
 		LevelsVisited:   levels,
 		Trace:           traceRoot,
-	}, nil
+	}
+	emitPlanChosen(opts, q, started, res)
+	return res, nil
 }
 
 // refinePlacements resolves every operator of a coarse plan (placed on

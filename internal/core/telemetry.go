@@ -2,6 +2,7 @@ package core
 
 import (
 	"hnp/internal/obs"
+	"hnp/internal/query"
 )
 
 // plannerObs carries the pre-bound telemetry handles one optimizer run
@@ -37,4 +38,42 @@ func (po plannerObs) search(s *PlanStep) {
 	po.clusters.Inc()
 	po.levels.Observe(s.Elapsed.Seconds())
 	po.reuse.Add(int64(s.ReuseOffered))
+}
+
+// emitPlanStarted records the start of one optimizer search in the
+// registry's flight recorder and returns the event ID (0 when the
+// recorder is disarmed). The event is parented on opts.TraceParent so
+// controller-triggered re-plans chain back to the gate decision that
+// caused them.
+func emitPlanStarted(opts Options, q *query.Query, algo string) uint64 {
+	tr := opts.Obs.Tracer()
+	if !tr.On() {
+		return 0
+	}
+	return tr.Emit(obs.Event{
+		Kind:   obs.KindPlanStarted,
+		Parent: opts.TraceParent,
+		Trace:  obs.QueryTrace(q.ID),
+		Query:  q.ID,
+		Node:   int(q.Sink),
+		Detail: algo,
+	})
+}
+
+// emitPlanChosen records the completed search: chosen plan cost, search
+// space examined, and the root operator's placement.
+func emitPlanChosen(opts Options, q *query.Query, started uint64, res Result) {
+	tr := opts.Obs.Tracer()
+	if !tr.On() {
+		return
+	}
+	tr.Emit(obs.Event{
+		Kind:   obs.KindPlanChosen,
+		Parent: started,
+		Trace:  obs.QueryTrace(q.ID),
+		Query:  q.ID,
+		Node:   int(res.Plan.Loc),
+		Value:  res.Cost,
+		Aux:    res.PlansConsidered,
+	})
 }

@@ -32,14 +32,20 @@ type Options struct {
 	Penalty func(v netgraph.NodeID, inRate float64) float64
 	// Obs, when non-nil and obs.Enabled, receives planner telemetry:
 	// per-level search spans, candidates examined, reuse inputs offered
-	// (metric names "core.<algo>.*").
+	// (metric names "core.<algo>.*"). Its flight recorder, when armed,
+	// additionally receives PlanStarted/PlanChosen trace events.
 	Obs *obs.Registry
+	// TraceParent, when nonzero, is the trace event that caused this
+	// search (the adaptation controller sets it to its gate-decision
+	// event, so re-plans link back to the decision that triggered them).
+	TraceParent uint64
 }
 
 // TopDownOpts is TopDown with explicit Options.
 func TopDownOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg *ads.Registry, opts Options) (Result, error) {
 	sp := obs.StartSpan(opts.Obs, "core.topdown.plan")
 	defer sp.End()
+	started := emitPlanStarted(opts, q, "topdown")
 	rt := query.BuildRates(cat, q)
 	td := &tdPlanner{h: h, q: q, rt: rt, reg: reg, opts: opts, obs: newPlannerObs(opts.Obs, "topdown")}
 	plan, trace, err := td.planView(h.Top(), BaseInputs(cat, q, rt), q.Sink, true)
@@ -50,14 +56,16 @@ func TopDownOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg
 	if err := plan.Validate(); err != nil {
 		return Result{}, fmt.Errorf("top-down: invalid plan: %w", err)
 	}
-	return Result{
+	res := Result{
 		Plan:            plan,
 		Cost:            plan.Cost(h.Paths().Dist, q.Sink),
 		PlansConsidered: td.plans,
 		ClustersPlanned: td.clusters,
 		LevelsVisited:   h.Height(),
 		Trace:           trace,
-	}, nil
+	}
+	emitPlanChosen(opts, q, started, res)
+	return res, nil
 }
 
 type tdPlanner struct {

@@ -30,6 +30,9 @@ func (h *Hierarchy) Rebind(paths *netgraph.Paths) error {
 		}
 	}
 	h.rebuildRep()
+	if tr := h.obsReg.Tracer(); tr.On() {
+		tr.Emit(obs.Event{Kind: obs.KindHierarchyChanged, Query: obs.NoID, Node: obs.NoID, Detail: "rebind"})
+	}
 	return nil
 }
 
@@ -68,6 +71,9 @@ func (h *Hierarchy) AddNode(v netgraph.NodeID) error {
 	h.insert(c, v)
 	h.invalidate()
 	h.rebuildRep()
+	if tr := h.obsReg.Tracer(); tr.On() {
+		tr.Emit(obs.Event{Kind: obs.KindHierarchyChanged, Query: obs.NoID, Node: int(v), Detail: "add_node"})
+	}
 	return nil
 }
 
@@ -174,6 +180,9 @@ func (h *Hierarchy) RemoveNode(v netgraph.NodeID) error {
 	h.removeFrom(c, v)
 	h.invalidate()
 	h.rebuildRep()
+	if tr := h.obsReg.Tracer(); tr.On() {
+		tr.Emit(obs.Event{Kind: obs.KindHierarchyChanged, Query: obs.NoID, Node: int(v), Detail: "remove_node"})
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"hnp/internal/core"
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 )
 
@@ -21,6 +22,9 @@ import (
 // composes the same primitives diff-wise to replace a running plan
 // without tearing down what both plans share.
 func (rt *Runtime) Deploy(q *query.Query, plan *query.PlanNode, cat *query.Catalog, until float64) error {
+	sp := rt.spDeploy.Start()
+	defer sp.End()
+	parent := rt.takeTraceParent()
 	if _, ok := rt.deploys[q.ID]; ok {
 		return fmt.Errorf("iflow: query %d already deployed", q.ID)
 	}
@@ -35,6 +39,12 @@ func (rt *Runtime) Deploy(q *query.Query, plan *query.PlanNode, cat *query.Catal
 	rt.sinks[q.ID] = &SinkStats{Node: q.Sink}
 	inst.root.subscribe(subscription{sink: q.ID, to: q.Sink})
 	rt.deploys[q.ID] = &deployment{q: q, plan: plan, held: inst.held}
+	if rt.tr.On() {
+		rt.tr.Emit(obs.Event{
+			Kind: obs.KindQueryDeployed, Parent: parent, Trace: obs.QueryTrace(q.ID),
+			Query: q.ID, Node: int(q.Sink), VTime: rt.Sim.Now(), Aux: float64(len(inst.held)),
+		})
+	}
 	return nil
 }
 
@@ -201,16 +211,24 @@ func (op *Operator) unsubscribe(s subscription) {
 // operators no longer referenced by any deployment are removed, together
 // with their upstream subscriptions. Base taps persist while referenced.
 func (rt *Runtime) Undeploy(queryID int) error {
+	parent := rt.takeTraceParent()
 	dep, ok := rt.deploys[queryID]
 	if !ok {
 		return fmt.Errorf("iflow: query %d not deployed", queryID)
 	}
 	// Remove the sink subscription.
+	sinkNode := rt.sinks[queryID].Node
 	for _, op := range rt.ops {
-		op.unsubscribe(subscription{sink: queryID, to: rt.sinks[queryID].Node})
+		op.unsubscribe(subscription{sink: queryID, to: sinkNode})
 	}
 	delete(rt.deploys, queryID)
 	rt.release(dep.held)
+	if rt.tr.On() {
+		rt.tr.Emit(obs.Event{
+			Kind: obs.KindQueryUndeployed, Parent: parent, Trace: obs.QueryTrace(queryID),
+			Query: queryID, Node: int(sinkNode), VTime: rt.Sim.Now(),
+		})
+	}
 	return nil
 }
 

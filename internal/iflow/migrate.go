@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hnp/internal/netgraph"
+	"hnp/internal/obs"
 	"hnp/internal/query"
 )
 
@@ -87,6 +88,9 @@ func (m MigrationReport) String() string {
 // use Undeploy+Deploy for that. It returns a report of what the diff
 // preserved and churned.
 func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Catalog, until float64) (MigrationReport, error) {
+	sp := rt.spMigrate.Start()
+	defer sp.End()
+	parent := rt.takeTraceParent()
 	var rep MigrationReport
 	dep, ok := rt.deploys[q.ID]
 	if !ok {
@@ -118,6 +122,12 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 	// deployment is untouched.
 	inst, err := rt.instantiate(q, plan, cat, until)
 	if err != nil {
+		if rt.tr.On() {
+			rt.tr.Emit(obs.Event{
+				Kind: obs.KindMigrationRolledBack, Parent: parent, Trace: obs.QueryTrace(q.ID),
+				Query: q.ID, Node: int(q.Sink), VTime: rt.Sim.Now(), Detail: err.Error(),
+			})
+		}
 		return rep, err
 	}
 
@@ -228,6 +238,13 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 	rt.obsMigRetired.Add(int64(rep.Retired))
 	rt.obsMigMoved.Add(int64(rep.Moved))
 	rt.obsMigBytesSaved.Add(rep.BytesSaved)
+	if rt.tr.On() {
+		rt.tr.Emit(obs.Event{
+			Kind: obs.KindMigrationApplied, Parent: parent, Trace: obs.QueryTrace(q.ID),
+			Query: q.ID, Node: int(plan.Loc), VTime: rt.Sim.Now(),
+			Value: rep.BytesSaved, Aux: rep.BytesShipped, Detail: rep.String(),
+		})
+	}
 	return rep, nil
 }
 

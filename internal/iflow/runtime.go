@@ -264,6 +264,16 @@ type Runtime struct {
 	obsMigMoved      *obs.Counter
 	obsMigBytesSaved *obs.Gauge
 	obsStateShipped  *obs.Counter
+
+	// Pre-bound span sources for the deployment primitives (nil-safe).
+	spDeploy  *obs.SpanSource
+	spMigrate *obs.SpanSource
+
+	// tr is the flight recorder shared with the binding registry;
+	// traceParent is the causal parent for the next deploy/migrate trace
+	// emission (see SetTraceParent).
+	tr          *obs.Tracer
+	traceParent uint64
 }
 
 // deployment records one query's hold on the runtime: the query, the
@@ -297,6 +307,22 @@ func (rt *Runtime) BindObs(reg *obs.Registry) {
 	rt.obsMigMoved = reg.Counter("iflow.migrate_ops_moved")
 	rt.obsMigBytesSaved = reg.Gauge("iflow.migrate_bytes_saved")
 	rt.obsStateShipped = reg.Counter("iflow.state_shipped")
+	rt.spDeploy = reg.SpanSource("iflow.deploy")
+	rt.spMigrate = reg.SpanSource("iflow.migrate")
+	rt.tr = reg.Tracer()
+}
+
+// SetTraceParent sets the causal parent of the next trace event the
+// runtime emits (the next Deploy/Migrate/Undeploy), consumed once. The
+// adaptation controller uses it to parent MigrationApplied events on the
+// gate decision that approved the migration. The runtime is
+// single-threaded on its simulation clock, so a plain field suffices.
+func (rt *Runtime) SetTraceParent(id uint64) { rt.traceParent = id }
+
+func (rt *Runtime) takeTraceParent() uint64 {
+	p := rt.traceParent
+	rt.traceParent = 0
+	return p
 }
 
 // New builds a runtime over a network. Streams route along cost-shortest

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderSnapshotOrder(t *testing.T) {
+	tr := NewTracer(4)
+	if tr.On() {
+		t.Fatal("new tracer must start disarmed")
+	}
+	if id := tr.Emit(Event{Kind: KindPlanStarted}); id != 0 {
+		t.Fatalf("disarmed Emit returned id %d, want 0", id)
+	}
+	tr.Enable()
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Kind: KindGateDecision, Query: i, Node: NoID})
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 || tr.Len() != 3 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d snapshot=%d, want 3/0/3", tr.Len(), tr.Dropped(), len(snap))
+	}
+	for i, e := range snap {
+		if e.ID != uint64(i+1) || e.Query != i {
+			t.Fatalf("snapshot[%d] = id %d q %d, want id %d q %d", i, e.ID, e.Query, i+1, i)
+		}
+	}
+}
+
+func TestFlightRecorderRingWrapDropsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Enable()
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KindGateDecision, Query: i, Node: NoID})
+	}
+	if tr.Len() != 4 || tr.Dropped() != 6 {
+		t.Fatalf("len=%d dropped=%d, want 4/6", tr.Len(), tr.Dropped())
+	}
+	snap := tr.Snapshot()
+	for i, e := range snap {
+		if want := uint64(7 + i); e.ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (oldest survivors first)", i, e.ID, want)
+		}
+	}
+}
+
+func TestFlightJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Enable()
+	a := tr.Emit(Event{Kind: KindCalibrationWindow, Trace: QueryTrace(3), Query: 3, Node: NoID, VTime: 12.5, Value: 0.4})
+	b := tr.Emit(Event{Kind: KindGateDecision, Parent: a, Trace: QueryTrace(3), Query: 3, Node: NoID, Gate: "drift", Pass: true, Value: 0.4, Aux: 0.2})
+	tr.Emit(Event{Kind: KindMigrationApplied, Parent: b, Trace: QueryTrace(3), Query: 3, Node: 7, VTime: 12.5, Detail: "kept=2"})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.Snapshot()
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost events: %d -> %d", len(orig), len(back))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("event %d changed in round trip:\n got %+v\nwant %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestFlightJournalStreamsAndDetachesOnError(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Enable()
+	var buf bytes.Buffer
+	tr.SetJournal(&buf)
+	tr.Emit(Event{Kind: KindQueryDeployed, Query: 1, Node: 2})
+	tr.Emit(Event{Kind: KindQueryUndeployed, Query: 1, Node: 2})
+	evs, err := ParseJSONL(&buf)
+	if err != nil || len(evs) != 2 {
+		t.Fatalf("journal parse: %d events, err %v; want 2, nil", len(evs), err)
+	}
+	tr.SetJournal(failWriter{})
+	tr.Emit(Event{Kind: KindQueryDeployed, Query: 9, Node: NoID})
+	if tr.JournalErr() == nil {
+		t.Fatal("journal write error not surfaced")
+	}
+	// Detached: further emission must not fail or grow anything.
+	tr.Emit(Event{Kind: KindQueryDeployed, Query: 10, Node: NoID})
+	if tr.Len() != 4 {
+		t.Fatalf("ring lost events after journal detach: len=%d, want 4", tr.Len())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &journalError{}
+
+type journalError struct{}
+
+func (*journalError) Error() string { return "synthetic write failure" }
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := KindNone; k <= KindHierarchyChanged; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("kind %v round-tripped to %v", k, back)
+		}
+	}
+	var unknown Kind
+	if err := json.Unmarshal([]byte(`"from_the_future"`), &unknown); err != nil || unknown != KindNone {
+		t.Fatalf("unknown kind: got %v, err %v; want KindNone, nil", unknown, err)
+	}
+}
+
+func TestTimelineRenderNestsByParent(t *testing.T) {
+	events := []Event{
+		{ID: 1, Kind: KindCalibrationWindow, Trace: QueryTrace(2), Query: 2, Node: NoID, VTime: 15},
+		{ID: 2, Parent: 1, Kind: KindGateDecision, Trace: QueryTrace(2), Query: 2, Node: NoID, Gate: "drift", Pass: true},
+		{ID: 3, Parent: 2, Kind: KindMigrationApplied, Trace: QueryTrace(2), Query: 2, Node: 4},
+		{ID: 4, Kind: KindCalibrationWindow, Trace: QueryTrace(5), Query: 5, Node: NoID},
+	}
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, FilterTrace(events, QueryTrace(2))); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "q=5") {
+		t.Fatalf("filter leaked another trace:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline has %d lines, want 3:\n%s", len(lines), out)
+	}
+	for i, prefix := range []string{"#1 ", "  #2 ", "    #3 "} {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Fatalf("line %d = %q, want prefix %q (indentation mirrors causality)", i, lines[i], prefix)
+		}
+	}
+}
+
+// TestTracerDisarmedEmitZeroAllocs pins the always-on contract: with the
+// recorder disarmed, emission is one atomic load and allocates nothing,
+// so leaving trace call sites in production paths is free.
+func TestTracerDisarmedEmitZeroAllocs(t *testing.T) {
+	tr := NewTracer(8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: KindGateDecision, Query: 1, Node: NoID, Gate: "drift", Value: 0.3})
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed Emit allocates %.1f per call, want 0", allocs)
+	}
+	var nilTr *Tracer
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilTr.Emit(Event{Kind: KindGateDecision, Query: 1, Node: NoID})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer Emit allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestObsConcurrentHammer drives every concurrent surface at once —
+// counters, gauges, histograms, snapshots, span sources, and the flight
+// recorder's emit/snapshot/dump paths — and is part of the -race CI
+// sweep.
+func TestObsConcurrentHammer(t *testing.T) {
+	withObs(t, func() {
+		r := NewRegistry()
+		tr := r.Tracer()
+		tr.Resize(64)
+		tr.Enable()
+		const workers = 8
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 300; i++ {
+					r.Counter("hammer.count").Inc()
+					r.Gauge("hammer.gauge").Set(float64(i))
+					r.Histogram("hammer.hist", nil).Observe(float64(i) * 1e-4)
+					sp := r.SpanSource("hammer.span").Start()
+					sp.End()
+					id := tr.Emit(Event{Kind: KindGateDecision, Trace: QueryTrace(w), Query: w, Node: NoID, Gate: "drift", Pass: i%2 == 0})
+					if i%10 == 0 {
+						tr.Emit(Event{Kind: KindMigrationApplied, Parent: id, Trace: QueryTrace(w), Query: w, Node: NoID})
+					}
+					if i%50 == 0 {
+						_ = r.Snapshot()
+						_ = tr.Snapshot()
+						_ = tr.Len()
+						_ = tr.Dropped()
+						var sink bytes.Buffer
+						_ = tr.WriteJSONL(&sink)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := r.Counter("hammer.count").Value(); got != workers*300 {
+			t.Fatalf("hammer.count = %d, want %d", got, workers*300)
+		}
+		if got := r.Snapshot().Histograms["hammer.hist"].Count; got != workers*300 {
+			t.Fatalf("hammer.hist count = %d, want %d", got, workers*300)
+		}
+	})
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h := HistogramSnapshot{}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+	// 100 observations spread uniformly over (0, 1]: bounds at each 0.1.
+	h = HistogramSnapshot{
+		Bounds: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Counts: []int64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 0},
+		Count:  100,
+		Sum:    50,
+	}
+	cases := []struct{ q, want float64 }{
+		{0.5, 0.5},
+		{0.95, 0.95},
+		{0.99, 0.99},
+		{0.05, 0.05},
+		{1.0, 1.0},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); !approx(got, c.want, 1e-9) {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// All mass in the +Inf bucket clamps to the highest finite bound.
+	inf := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 5}, Count: 5, Sum: 500}
+	if got := inf.Quantile(0.5); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %g, want clamp to 2", got)
+	}
+	// Skewed mass: 9 fast, 1 slow — p50 interpolates inside the first
+	// bucket, p99 inside the last occupied one.
+	skew := HistogramSnapshot{Bounds: []float64{1, 10}, Counts: []int64{9, 1, 0}, Count: 10, Sum: 14}
+	if got := skew.Quantile(0.5); !approx(got, 5.0/9.0, 1e-9) {
+		t.Fatalf("skewed p50 = %g, want %g", got, 5.0/9.0)
+	}
+	if got := skew.Quantile(0.99); !approx(got, 1+9*0.9, 1e-9) {
+		t.Fatalf("skewed p99 = %g, want %g", got, 1+9*0.9)
+	}
+}
+
+func approx(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func TestHistogramBoundsConflictCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1, 2, 3})
+	r.Histogram("h", nil)                // nil means "whatever exists": no conflict
+	r.Histogram("h", []float64{1, 2, 3}) // identical layout: no conflict
+	if got := r.Counter("obs.histogram_bounds_conflict").Value(); got != 0 {
+		t.Fatalf("conflict counter = %d after compatible requests, want 0", got)
+	}
+	r.Histogram("h", []float64{5, 6})
+	if got := r.Counter("obs.histogram_bounds_conflict").Value(); got != 1 {
+		t.Fatalf("conflict counter = %d after conflicting layout, want 1 (records even with obs disabled)", got)
+	}
+}
+
+func TestSpanSourcePrebound(t *testing.T) {
+	withObs(t, func() {
+		r := NewRegistry()
+		ss := r.SpanSource("work")
+		if r.SpanSource("work") != ss {
+			t.Fatal("SpanSource not idempotent by name")
+		}
+		for i := 0; i < 3; i++ {
+			sp := ss.Start()
+			sp.End()
+		}
+		snap := r.Snapshot()
+		if got := snap.Counter("work.calls"); got != 3 {
+			t.Fatalf("work.calls = %d, want 3", got)
+		}
+		if got := snap.Histograms["work.seconds"].Count; got != 3 {
+			t.Fatalf("work.seconds count = %d, want 3", got)
+		}
+		// The legacy StartSpan path shares the same underlying metrics.
+		sp := StartSpan(r, "work")
+		sp.End()
+		if got := r.Snapshot().Counter("work.calls"); got != 4 {
+			t.Fatalf("StartSpan and SpanSource diverged: calls = %d, want 4", got)
+		}
+		var nilSS *SpanSource
+		nilSS.Start().End() // no-op, must not panic
+	})
+}

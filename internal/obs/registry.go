@@ -16,6 +16,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	spans    map[string]*SpanSource
+	tracer   *Tracer
 }
 
 // Default is the process-wide registry: command surfaces (expvar, the
@@ -29,7 +31,19 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		spans:    map[string]*SpanSource{},
+		tracer:   NewTracer(0),
 	}
+}
+
+// Tracer returns the registry's flight recorder. Every registry owns one
+// (disarmed and ring-less until armed); a nil registry returns a nil
+// (no-op) tracer, keeping the nil-handle contract.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
 }
 
 // Counter returns the named counter, creating it if needed.
@@ -39,6 +53,10 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.counterLocked(name)
+}
+
+func (r *Registry) counterLocked(name string) *Counter {
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -64,7 +82,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds (nil means DefBuckets) if needed. The layout of an
-// existing histogram is never changed.
+// existing histogram is never changed: asking for an existing name with
+// different non-nil bounds returns the original layout unchanged and
+// bumps the "obs.histogram_bounds_conflict" counter in the same registry,
+// so silently-ignored layouts are at least visible in snapshots.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
@@ -75,8 +96,49 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if !ok {
 		h = newHistogram(bounds)
 		r.hists[name] = h
+	} else if bounds != nil && !sameBounds(h.bounds, bounds) {
+		// Conflict counters must record even while the master switch is
+		// off — a silently discarded layout is a bug signal, not telemetry.
+		r.counterLocked("obs.histogram_bounds_conflict").v.Add(1)
 	}
 	return h
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanSource returns a pre-bound handle for repeatedly-timed sections:
+// the "<name>.seconds" histogram and "<name>.calls" counter are resolved
+// once, so Start/End on the handle cost no string concatenation and no
+// registry lookups — just the clock reads and atomic updates. Hot paths
+// (planner searches, deploy/migrate) bind one SpanSource at setup and
+// reuse it per call. A nil registry returns a nil (no-op) source.
+func (r *Registry) SpanSource(name string) *SpanSource {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ss, ok := r.spans[name]
+	if !ok {
+		h, have := r.hists[name+".seconds"]
+		if !have {
+			h = newHistogram(nil)
+			r.hists[name+".seconds"] = h
+		}
+		ss = &SpanSource{seconds: h, calls: r.counterLocked(name + ".calls")}
+		r.spans[name] = ss
+	}
+	return ss
 }
 
 // HistogramSnapshot is the frozen state of one histogram.
@@ -96,6 +158,41 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket that contains the target rank, Prometheus-style: the
+// first bucket interpolates from 0, and ranks landing in the +Inf bucket
+// return the highest finite bound (the estimate cannot exceed what the
+// layout can resolve). Returns 0 with no observations.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1] // +Inf bucket: clamp
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lower + (h.Bounds[i]-lower)*frac
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of a registry: fully detached from the

@@ -33,7 +33,7 @@ type TextSink struct {
 }
 
 // Emit writes the snapshot as "name value" lines (histograms render as
-// count/mean/sum).
+// count/mean/sum plus interpolated p50/p95/p99).
 func (s TextSink) Emit(snap Snapshot) error {
 	for _, name := range snap.Names() {
 		var err error
@@ -44,7 +44,8 @@ func (s TextSink) Emit(snap Snapshot) error {
 			_, err = fmt.Fprintf(s.W, "%-44s %g\n", name, snap.Gauges[name])
 		default:
 			h := snap.Histograms[name]
-			_, err = fmt.Fprintf(s.W, "%-44s count=%d mean=%.3g sum=%.3g\n", name, h.Count, h.Mean(), h.Sum)
+			_, err = fmt.Fprintf(s.W, "%-44s count=%d mean=%.3g sum=%.3g p50=%.3g p95=%.3g p99=%.3g\n",
+				name, h.Count, h.Mean(), h.Sum, h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
 		}
 		if err != nil {
 			return err

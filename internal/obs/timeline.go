@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FilterTrace returns the events carrying the given trace ID, preserving
+// order. Trace 0 returns the input unfiltered (0 means "no trace" on an
+// event, but "all traces" as a query — the zero filter is the whole
+// flight).
+func FilterTrace(events []Event, trace uint64) []Event {
+	if trace == 0 {
+		return events
+	}
+	var out []Event
+	for _, e := range events {
+		if e.Trace == trace {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RenderTimeline writes events as an indented causal tree, oldest root
+// first: children are printed under the event that caused them, so a
+// query lifecycle reads top-to-bottom as planned → deployed → calibrated
+// → gated → migrated. Events whose parent is missing (overwritten by ring
+// wrap-around, or emitted before the filter window) render as roots.
+func RenderTimeline(w io.Writer, events []Event) error {
+	byID := make(map[uint64]int, len(events))
+	for i, e := range events {
+		byID[e.ID] = i
+	}
+	children := make(map[uint64][]int)
+	var roots []int
+	for i, e := range events {
+		if e.Parent != 0 {
+			if _, ok := byID[e.Parent]; ok {
+				children[e.Parent] = append(children[e.Parent], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+	for _, c := range children {
+		sort.Slice(c, func(a, b int) bool { return events[c[a]].ID < events[c[b]].ID })
+	}
+	sort.Slice(roots, func(a, b int) bool { return events[roots[a]].ID < events[roots[b]].ID })
+
+	var walk func(i, depth int) error
+	walk = func(i, depth int) error {
+		e := events[i]
+		if _, err := fmt.Fprintf(w, "%*s%s\n", 2*depth, "", e.Line()); err != nil {
+			return err
+		}
+		for _, c := range children[e.ID] {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Line renders one event as a single human-readable line (no trailing
+// newline): id, kind, and only the fields the event actually carries.
+func (e Event) Line() string {
+	s := fmt.Sprintf("#%d %s", e.ID, e.Kind)
+	if e.Query != NoID {
+		s += fmt.Sprintf(" q=%d", e.Query)
+	}
+	if e.Node != NoID {
+		s += fmt.Sprintf(" node=%d", e.Node)
+	}
+	if e.Gate != "" {
+		verdict := "suppressed"
+		if e.Pass {
+			verdict = "pass"
+		}
+		s += fmt.Sprintf(" gate=%s(%s)", e.Gate, verdict)
+	} else if e.Kind == KindInvariantChecked {
+		verdict := "FAIL"
+		if e.Pass {
+			verdict = "ok"
+		}
+		s += " " + verdict
+	}
+	if e.VTime != 0 {
+		s += fmt.Sprintf(" t=%.3gs", e.VTime)
+	}
+	if e.Value != 0 {
+		s += fmt.Sprintf(" value=%.4g", e.Value)
+	}
+	if e.Aux != 0 {
+		s += fmt.Sprintf(" aux=%.4g", e.Aux)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
