@@ -444,14 +444,34 @@ func (s *System) run(q *query.Query, algo Algorithm) (Result, error) {
 	return Result{}, fmt.Errorf("hnp: unknown algorithm %d", algo)
 }
 
-// Refresh rebuilds the path snapshot and re-binds the hierarchy after the
-// graph changed (link cost updates, node churn handled via the hierarchy's
-// AddNode/RemoveNode).
+// Refresh brings the path snapshot up to date and re-binds the hierarchy
+// after the graph changed (link cost updates; node churn is handled via
+// the hierarchy's AddNode/RemoveNode). The refresh is incremental where
+// the graph's mutation log permits — only the source rows that actually
+// moved are recomputed, and only clusters touching them re-audited — and
+// falls back to a full recompute otherwise; either way the resulting
+// snapshot is bit-identical to a fresh one. The published snapshot is
+// shared with concurrently running planners, so retired snapshots are
+// never recycled here.
 func (s *System) Refresh() {
-	paths := s.Graph.ShortestPaths(s.metric)
+	// Compute outside the write lock: planners keep running against the
+	// old snapshot until the swap below.
+	s.mu.RLock()
+	old := s.Paths
+	s.mu.RUnlock()
+	paths, stats := old.RefreshFrom(s.Graph, nil)
+	switch stats.Mode {
+	case netgraph.RefreshIncremental:
+		s.Obs.Counter("paths.refresh_incremental").Inc()
+	case netgraph.RefreshFull:
+		s.Obs.Counter("paths.refresh_full").Inc()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.Hierarchy.Rebind(paths); err != nil {
+	if paths == old {
+		return // graph unchanged since the snapshot was taken
+	}
+	if err := s.Hierarchy.RebindRows(paths, stats.Rows); err != nil {
 		// Unreachable: a just-computed snapshot cannot be stale.
 		panic(err)
 	}

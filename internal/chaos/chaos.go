@@ -159,22 +159,26 @@ type sinkBase struct {
 // World is one chaos run in progress: the full stack plus the harness's
 // own bookkeeping of what should be true.
 type World struct {
-	cfg     Config
-	rng     *rand.Rand // event schedule + parameter draws
-	g       *netgraph.Graph
-	paths   *netgraph.Paths
-	h       *hierarchy.Hierarchy
-	cat     *query.Catalog
-	reg     *ads.Registry
-	rt      *iflow.Runtime
-	pool    []*query.Query
-	qByID   map[int]*query.Query
-	plans   map[int]*query.PlanNode
-	state   map[int]queryState
-	live    []bool
-	nLive   int
-	minLive int
-	horizon float64
+	cfg   Config
+	rng   *rand.Rand // event schedule + parameter draws
+	g     *netgraph.Graph
+	paths *netgraph.Paths
+	// pathsSpare is the retired half of the harness's snapshot ping-pong:
+	// link events delta-refresh w.paths into it and demote the old
+	// snapshot (released by the hierarchy at RebindRows) to spare.
+	pathsSpare *netgraph.Paths
+	h          *hierarchy.Hierarchy
+	cat        *query.Catalog
+	reg        *ads.Registry
+	rt         *iflow.Runtime
+	pool       []*query.Query
+	qByID      map[int]*query.Query
+	plans      map[int]*query.PlanNode
+	state      map[int]queryState
+	live       []bool
+	nLive      int
+	minLive    int
+	horizon    float64
 
 	// tracker is the incremental load ledger, fed diff-aware at every
 	// deploy/undeploy/recovery/migration; check() audits it against a
@@ -701,11 +705,7 @@ func (w *World) apply(e *Event) error {
 		if err := w.rt.UpdateLinkCost(e.A, e.B, e.Value); err != nil {
 			return fmt.Errorf("link update rejected: %w", err)
 		}
-		w.paths = w.g.ShortestPaths(netgraph.MetricCost)
-		if err := w.h.Rebind(w.paths); err != nil {
-			return fmt.Errorf("hierarchy rejected fresh paths: %w", err)
-		}
-		return nil
+		return w.refreshPathsAndRebind()
 	case KindQueryArrive:
 		return w.applyArrive(e)
 	case KindQueryUndeploy:
@@ -731,13 +731,29 @@ func (w *World) apply(e *Event) error {
 		if err := w.rt.UpdateLinkCosts(e.Burst); err != nil {
 			return fmt.Errorf("link burst rejected: %w", err)
 		}
-		w.paths = w.g.ShortestPaths(netgraph.MetricCost)
-		if err := w.h.Rebind(w.paths); err != nil {
-			return fmt.Errorf("hierarchy rejected fresh paths: %w", err)
-		}
-		return nil
+		return w.refreshPathsAndRebind()
 	}
 	return fmt.Errorf("unknown event kind %d", e.Kind)
+}
+
+// refreshPathsAndRebind brings the harness's cost snapshot up to date
+// after link churn and rebinds the hierarchy to it. The refresh is
+// incremental where the graph's delta log permits, recycling the retired
+// snapshot's slabs, and the rebind re-audits only clusters whose members'
+// rows the refresh recomputed. If every mutation was a no-op (costs set
+// to their current values), nothing moved and nothing is touched.
+func (w *World) refreshPathsAndRebind() error {
+	old := w.paths
+	next, stats := w.paths.RefreshFrom(w.g, w.pathsSpare)
+	if next == old {
+		return nil
+	}
+	w.paths = next
+	if err := w.h.RebindRows(next, stats.Rows); err != nil {
+		return fmt.Errorf("hierarchy rejected fresh paths: %w", err)
+	}
+	w.pathsSpare = old
+	return nil
 }
 
 // applyLiveRateShift retunes the live taps covering a stream without

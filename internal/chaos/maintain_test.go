@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"testing"
+
+	"hnp/internal/netgraph"
+)
+
+// TestChaosReportsUnchangedByDeltaRefresh is the end-to-end equivalence
+// gate for incremental path maintenance: across a sweep of seeds, the
+// default drift profile must produce byte-for-byte identical reports —
+// event trace, transport stats, deliveries — whether link churn is
+// absorbed by delta repair plus scoped rebinds (the default) or by full
+// recomputation. Any divergence means a repaired snapshot was not
+// bit-identical to a fresh one, or a scoped rebind missed a cluster.
+func TestChaosReportsUnchangedByDeltaRefresh(t *testing.T) {
+	t.Cleanup(func() { netgraph.SetDeltaRefresh(true) })
+	run := func(seed int64, incremental bool) Report {
+		t.Helper()
+		netgraph.SetDeltaRefresh(incremental)
+		cfg := DefaultConfig(seed)
+		cfg.Events = 60
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		rep, err := w.Run()
+		if err != nil {
+			t.Fatalf("seed %d (incremental=%v): %v\ntrace:\n%s", seed, incremental, err, rep.TraceString())
+		}
+		return rep
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		on := run(seed, true)
+		off := run(seed, false)
+		if on.TraceString() != off.TraceString() {
+			t.Fatalf("seed %d: traces diverged between incremental and full maintenance:\n--- incremental\n%s\n--- full\n%s",
+				seed, on.TraceString(), off.TraceString())
+		}
+		if on.Stats != off.Stats {
+			t.Fatalf("seed %d: stats diverged: %+v vs %+v", seed, on.Stats, off.Stats)
+		}
+		if on.Delivered != off.Delivered {
+			t.Fatalf("seed %d: deliveries diverged: %d vs %d", seed, on.Delivered, off.Delivered)
+		}
+		if on.Deployed != off.Deployed || on.Oscillations != off.Oscillations {
+			t.Fatalf("seed %d: bookkeeping diverged: %+v vs %+v", seed, on, off)
+		}
+	}
+}

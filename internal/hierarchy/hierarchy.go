@@ -81,21 +81,33 @@ type Hierarchy struct {
 	coverMu sync.Mutex
 	cover   map[*Cluster][]netgraph.NodeID
 
+	// rowMark is scratch for RebindRows: a dense changed-node mark,
+	// cleared after each use so rebinding allocates nothing steady-state.
+	rowMark []bool
+
 	// Telemetry handles (nil until BindObs; all nil-safe no-ops then).
 	// obsReg is kept so maintenance operations can open spans.
-	obsReg    *obs.Registry
-	obsHits   *obs.Counter
-	obsMisses *obs.Counter
+	obsReg           *obs.Registry
+	obsHits          *obs.Counter
+	obsMisses        *obs.Counter
+	obsRebindFull    *obs.Counter
+	obsRebindDelta   *obs.Counter
+	obsRebindAudited *obs.Counter
 }
 
 // BindObs connects the hierarchy to a telemetry registry: cover-cache
-// effectiveness ("hierarchy.cover_hits", "hierarchy.cover_misses") and
-// maintenance timings ("hierarchy.rebind.*", "hierarchy.add_node.*",
-// "hierarchy.remove_node.*" span metrics) are recorded there.
+// effectiveness ("hierarchy.cover_hits", "hierarchy.cover_misses"),
+// rebind scope ("hierarchy.rebind_full", "hierarchy.rebind_delta",
+// "hierarchy.rebind_clusters_reaudited"), and maintenance timings
+// ("hierarchy.rebind.*", "hierarchy.add_node.*", "hierarchy.remove_node.*"
+// span metrics) are recorded there.
 func (h *Hierarchy) BindObs(reg *obs.Registry) {
 	h.obsReg = reg
 	h.obsHits = reg.Counter("hierarchy.cover_hits")
 	h.obsMisses = reg.Counter("hierarchy.cover_misses")
+	h.obsRebindFull = reg.Counter("hierarchy.rebind_full")
+	h.obsRebindDelta = reg.Counter("hierarchy.rebind_delta")
+	h.obsRebindAudited = reg.Counter("hierarchy.rebind_clusters_reaudited")
 }
 
 // Build constructs a hierarchy over the nodes of g with at most maxCS

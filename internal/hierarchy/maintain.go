@@ -17,6 +17,20 @@ import (
 // every cost the hierarchy reports would silently reflect a network that
 // no longer exists.
 func (h *Hierarchy) Rebind(paths *netgraph.Paths) error {
+	return h.RebindRows(paths, nil)
+}
+
+// RebindRows is Rebind informed by the scope of a delta path refresh:
+// rows, when non-nil, is the set of source rows the refresh recomputed
+// (netgraph.RefreshStats.Rows). Because changed distances always flag
+// both endpoints' rows, a cluster none of whose members appear in rows
+// has provably unchanged pairwise distances, so only clusters
+// intersecting rows re-measure their diameter. A nil rows (full
+// recompute, or scope unknown) re-measures every cluster.
+//
+// The representative table is not rebuilt in either case: it depends only
+// on cluster membership and coordinators, which Rebind never changes.
+func (h *Hierarchy) RebindRows(paths *netgraph.Paths, rows []netgraph.NodeID) error {
 	sp := obs.StartSpan(h.obsReg, "hierarchy.rebind")
 	defer sp.End()
 	if paths.StaleFor(h.g) {
@@ -24,14 +38,50 @@ func (h *Hierarchy) Rebind(paths *netgraph.Paths) error {
 			paths.Version(), h.g.Version())
 	}
 	h.paths = paths
-	for _, lvl := range h.lvls {
-		for _, c := range lvl.Clusters {
-			c.Diameter = paths.MaxPairwise(c.Members)
-		}
+	n := h.g.NumNodes()
+	if len(h.rep) != len(h.lvls) || len(h.rep) > 0 && len(h.rep[0]) != n {
+		// The graph gained nodes since the table was built (membership
+		// mutations rebuild it themselves): re-materialize so Rep keeps
+		// panicking with its poison value instead of indexing out of range.
+		h.rebuildRep()
 	}
-	h.rebuildRep()
+	reaudited := 0
+	if rows == nil {
+		for _, lvl := range h.lvls {
+			for _, c := range lvl.Clusters {
+				c.Diameter = paths.MaxPairwise(c.Members)
+				reaudited++
+			}
+		}
+		h.obsRebindFull.Inc()
+	} else {
+		if cap(h.rowMark) < n {
+			h.rowMark = make([]bool, n)
+		}
+		mark := h.rowMark[:n]
+		for _, r := range rows {
+			mark[r] = true
+		}
+		for _, lvl := range h.lvls {
+			for _, c := range lvl.Clusters {
+				for _, m := range c.Members {
+					if mark[m] {
+						c.Diameter = paths.MaxPairwise(c.Members)
+						reaudited++
+						break
+					}
+				}
+			}
+		}
+		for _, r := range rows {
+			mark[r] = false
+		}
+		h.obsRebindDelta.Inc()
+	}
+	h.obsRebindAudited.Add(int64(reaudited))
 	if tr := h.obsReg.Tracer(); tr.On() {
-		tr.Emit(obs.Event{Kind: obs.KindHierarchyChanged, Query: obs.NoID, Node: obs.NoID, Detail: "rebind"})
+		tr.Emit(obs.Event{Kind: obs.KindHierarchyChanged, Query: obs.NoID, Node: obs.NoID,
+			Value: float64(reaudited), Detail: "rebind"})
 	}
 	return nil
 }

@@ -250,11 +250,24 @@ type Runtime struct {
 	StateTuplesShipped int64
 	StateBytesShipped  float64
 
+	// costSpare/delaySpare are the retired halves of the two snapshot
+	// ping-pong pairs refreshPaths recycles: each refresh writes into the
+	// spare and demotes the previous snapshot to spare, so steady-state
+	// incremental refreshes allocate nothing. The runtime exclusively owns
+	// both chains (planners and the hierarchy snapshot their own paths).
+	costSpare  *netgraph.Paths
+	delaySpare *netgraph.Paths
+
 	// Telemetry handles (nil until BindObs; all nil-safe no-ops then).
 	obsTransferred *obs.Counter
 	obsDropped     *obs.Counter
 	obsExpired     *obs.Counter
 	obsCost        *obs.Gauge
+
+	// Path-maintenance telemetry (see refreshPaths).
+	obsRefreshFull *obs.Counter
+	obsRefreshIncr *obs.Counter
+	obsRefreshRows *obs.Histogram
 
 	// Migration telemetry (see Migrate).
 	obsMigrations    *obs.Counter
@@ -307,6 +320,10 @@ func (rt *Runtime) BindObs(reg *obs.Registry) {
 	rt.obsMigMoved = reg.Counter("iflow.migrate_ops_moved")
 	rt.obsMigBytesSaved = reg.Gauge("iflow.migrate_bytes_saved")
 	rt.obsStateShipped = reg.Counter("iflow.state_shipped")
+	rt.obsRefreshFull = reg.Counter("paths.refresh_full")
+	rt.obsRefreshIncr = reg.Counter("paths.refresh_incremental")
+	rt.obsRefreshRows = reg.Histogram("paths.rows_recomputed",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 	rt.spDeploy = reg.SpanSource("iflow.deploy")
 	rt.spMigrate = reg.SpanSource("iflow.migrate")
 	rt.tr = reg.Tracer()
@@ -344,17 +361,45 @@ func New(g *netgraph.Graph, cfg Config, seed int64) *Runtime {
 // Config returns the runtime's configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
-// refreshPaths recomputes any path snapshot that has gone stale because
-// the underlying graph was mutated (directly or via UpdateLinkCost).
-// Entry points call it so routing and accounting never silently use
-// distances from a network that no longer exists.
+// refreshPaths brings any path snapshot that has gone stale because the
+// underlying graph was mutated (directly or via UpdateLinkCost) back up
+// to date. Entry points call it so routing and accounting never silently
+// use distances from a network that no longer exists.
+//
+// Refreshes are incremental where the graph's delta log permits — only
+// the source rows a mutation actually moved are re-run — and recycle the
+// previous snapshot's slabs, so steady-state drift maintenance is
+// allocation-free. Results are bit-identical to a full recompute.
 func (rt *Runtime) refreshPaths() {
-	if rt.Cost.StaleFor(rt.G) {
-		rt.Cost = rt.G.ShortestPaths(netgraph.MetricCost)
+	rt.Cost, rt.costSpare = rt.refreshOne(rt.Cost, rt.costSpare)
+	rt.Delay, rt.delaySpare = rt.refreshOne(rt.Delay, rt.delaySpare)
+}
+
+// refreshOne advances one snapshot chain, returning the fresh snapshot
+// and the demoted spare, and records refresh scope telemetry.
+func (rt *Runtime) refreshOne(cur, spare *netgraph.Paths) (*netgraph.Paths, *netgraph.Paths) {
+	out, stats := cur.RefreshFrom(rt.G, spare)
+	if out == cur {
+		return cur, spare
 	}
-	if rt.Delay.StaleFor(rt.G) {
-		rt.Delay = rt.G.ShortestPaths(netgraph.MetricDelay)
+	switch stats.Mode {
+	case netgraph.RefreshIncremental:
+		rt.obsRefreshIncr.Inc()
+	case netgraph.RefreshFull:
+		rt.obsRefreshFull.Inc()
 	}
+	rt.obsRefreshRows.Observe(float64(stats.RowsRecomputed))
+	if rt.tr.On() {
+		rt.tr.Emit(obs.Event{
+			Kind:  obs.KindPathRefresh,
+			VTime: rt.Sim.Now(),
+			Query: obs.NoID, Node: obs.NoID,
+			Value:  float64(stats.RowsRecomputed),
+			Aux:    float64(stats.EdgesChanged),
+			Detail: stats.Mode.String() + " " + out.Metric().String(),
+		})
+	}
+	return out, cur
 }
 
 // transfer accounts and schedules a tuple moving between two nodes, then

@@ -31,12 +31,34 @@ type halfEdge struct {
 	delay float64
 }
 
+// EdgeDelta records one weight mutation of an existing link: the link's
+// endpoints, which metric changed, and the weight before and after. The
+// graph keeps a bounded log of these so path snapshots can repair
+// themselves incrementally instead of recomputing all pairs from scratch.
+type EdgeDelta struct {
+	A, B     NodeID // normalized A < B
+	Metric   Metric
+	Old, New float64
+}
+
+// maxDeltaLog bounds the mutation log. A snapshot older than the log's
+// horizon simply falls back to a full recompute, so the cap trades a
+// little incremental coverage for bounded memory.
+const maxDeltaLog = 1024
+
 // Graph is a weighted undirected network graph. The zero value is not
 // usable; create graphs with New.
 type Graph struct {
 	adj     [][]halfEdge
 	nLinks  int
 	version int // bumped on every mutation so path caches can detect staleness
+
+	// log holds one EdgeDelta per weight-only mutation since logBase:
+	// log[i] is the mutation that took the graph from version logBase+i
+	// to logBase+i+1. Structural mutations (AddLink) clear the log — a
+	// snapshot from before a structural change must recompute fully.
+	log     []EdgeDelta
+	logBase int
 }
 
 // New returns an empty graph with n nodes and no links.
@@ -90,7 +112,43 @@ func (g *Graph) AddLink(a, b NodeID, cost, delay float64) error {
 	g.adj[b] = append(g.adj[b], halfEdge{a, cost, delay})
 	g.nLinks++
 	g.version++
+	// Structural change: weight deltas cannot describe a new link, so
+	// snapshots from before this version must recompute fully.
+	g.log = g.log[:0]
+	g.logBase = g.version
 	return nil
+}
+
+// recordDelta appends one weight mutation to the bounded log and bumps the
+// version. Call after the adjacency lists have been updated.
+func (g *Graph) recordDelta(a, b NodeID, m Metric, old, new float64) {
+	if a > b {
+		a, b = b, a
+	}
+	if len(g.log) >= maxDeltaLog {
+		// Drop the oldest half; snapshots older than the new horizon
+		// fall back to full recompute.
+		drop := len(g.log) / 2
+		n := copy(g.log, g.log[drop:])
+		g.log = g.log[:n]
+		g.logBase += drop
+	}
+	g.log = append(g.log, EdgeDelta{A: a, B: b, Metric: m, Old: old, New: new})
+	g.version++
+}
+
+// deltasSince returns the weight mutations that took the graph from
+// version v to its current version, oldest first, and whether the log
+// still covers that span. The slice aliases the graph's internal log and
+// is only valid until the next mutation.
+func (g *Graph) deltasSince(v int) ([]EdgeDelta, bool) {
+	if v == g.version {
+		return nil, true
+	}
+	if v < g.logBase || v > g.version {
+		return nil, false
+	}
+	return g.log[v-g.logBase:], true
 }
 
 // MustAddLink is AddLink but panics on error. Topology generators use it
@@ -129,26 +187,71 @@ func (g *Graph) LinkCost(a, b NodeID) (float64, bool) {
 
 // SetLinkCost updates the cost of an existing link in both directions. It
 // is used by the adaptive runtime to model changing network conditions.
+// Setting a link to its current cost is a no-op: the version is not
+// bumped, so existing path snapshots stay valid.
 func (g *Graph) SetLinkCost(a, b NodeID, cost float64) error {
 	if cost <= 0 {
 		return fmt.Errorf("netgraph: non-positive link cost %g", cost)
 	}
-	found := false
+	old, found := 0.0, false
 	for i := range g.adj[a] {
 		if g.adj[a][i].to == b {
-			g.adj[a][i].cost = cost
+			old = g.adj[a][i].cost
 			found = true
+			break
 		}
 	}
 	if !found {
 		return fmt.Errorf("netgraph: no link %d-%d", a, b)
+	}
+	if cost == old {
+		return nil
+	}
+	for i := range g.adj[a] {
+		if g.adj[a][i].to == b {
+			g.adj[a][i].cost = cost
+		}
 	}
 	for i := range g.adj[b] {
 		if g.adj[b][i].to == a {
 			g.adj[b][i].cost = cost
 		}
 	}
-	g.version++
+	g.recordDelta(a, b, MetricCost, old, cost)
+	return nil
+}
+
+// SetLinkDelay updates the propagation delay of an existing link in both
+// directions. Like SetLinkCost, setting the current value is a no-op.
+func (g *Graph) SetLinkDelay(a, b NodeID, delay float64) error {
+	if delay < 0 {
+		return fmt.Errorf("netgraph: negative link delay %g", delay)
+	}
+	old, found := 0.0, false
+	for i := range g.adj[a] {
+		if g.adj[a][i].to == b {
+			old = g.adj[a][i].delay
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("netgraph: no link %d-%d", a, b)
+	}
+	if delay == old {
+		return nil
+	}
+	for i := range g.adj[a] {
+		if g.adj[a][i].to == b {
+			g.adj[a][i].delay = delay
+		}
+	}
+	for i := range g.adj[b] {
+		if g.adj[b][i].to == a {
+			g.adj[b][i].delay = delay
+		}
+	}
+	g.recordDelta(a, b, MetricDelay, old, delay)
 	return nil
 }
 
@@ -209,9 +312,11 @@ func (g *Graph) Connected() bool {
 	return count == n
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, including the mutation log so
+// snapshots of the original can delta-refresh against the clone.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]halfEdge, len(g.adj)), nLinks: g.nLinks, version: g.version}
+	c := &Graph{adj: make([][]halfEdge, len(g.adj)), nLinks: g.nLinks, version: g.version,
+		log: append([]EdgeDelta(nil), g.log...), logBase: g.logBase}
 	for i, es := range g.adj {
 		c.adj[i] = append([]halfEdge(nil), es...)
 	}

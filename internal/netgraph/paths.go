@@ -44,6 +44,11 @@ type Paths struct {
 	next     [][]int32 // next[a][b]: first hop from a toward b, -1 if unreachable
 	distSlab []float64
 	nextSlab []int32
+
+	// scratch carries the delta-refresh working set along a chain of
+	// exclusively-owned snapshots (see RefreshFrom); nil for snapshots
+	// that have never been delta-refreshed with a recycle target.
+	scratch *refreshScratch
 }
 
 // newPaths allocates a snapshot shell with its slabs and row headers.
@@ -171,15 +176,23 @@ func (g *Graph) dijkstraInto(src NodeID, m Metric, dist []float64, firstHop []in
 // the serial computation produces, so results are bit-identical regardless
 // of parallelism.
 func (g *Graph) ShortestPaths(m Metric) *Paths {
+	p := newPaths(m, g.version, len(g.adj))
+	g.fillPaths(p)
+	return p
+}
+
+// fillPaths fills every row of an allocated snapshot shell (fresh or
+// recycled) with the worker-pool all-pairs computation described on
+// ShortestPaths. The shell's metric/version/n must already be set.
+func (g *Graph) fillPaths(p *Paths) {
 	n := len(g.adj)
-	p := newPaths(m, g.version, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		g.shortestPathsInto(p)
-		return p
+		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -195,12 +208,11 @@ func (g *Graph) ShortestPaths(m Metric) *Paths {
 				}
 				// Rows are disjoint slab regions; each worker writes
 				// only the rows it claimed.
-				g.dijkstraInto(NodeID(v), m, p.dist[v], p.next[v], &q)
+				g.dijkstraInto(NodeID(v), p.metric, p.dist[v], p.next[v], &q)
 			}
 		}()
 	}
 	wg.Wait()
-	return p
 }
 
 // shortestPathsInto fills an all-pairs snapshot serially; the reference

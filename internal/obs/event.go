@@ -57,6 +57,11 @@ const (
 	// KindHierarchyChanged: the network hierarchy was rebuilt or patched
 	// (node add/remove, rebind). Detail names the operation.
 	KindHierarchyChanged
+	// KindPathRefresh: a path snapshot was brought up to date after graph
+	// churn. Value is the number of source rows recomputed, Aux the number
+	// of changed links; Detail carries the refresh mode ("incremental" or
+	// "full") and the metric.
+	KindPathRefresh
 )
 
 var kindNames = [...]string{
@@ -71,6 +76,7 @@ var kindNames = [...]string{
 	KindMigrationRolledBack: "migration_rolled_back",
 	KindInvariantChecked:    "invariant_checked",
 	KindHierarchyChanged:    "hierarchy_changed",
+	KindPathRefresh:         "path_refresh",
 }
 
 // String returns the snake_case taxonomy name.
