@@ -1,35 +1,43 @@
-// Command benchjson runs the repo's fixed-seed planner hot-path
-// benchmarks and emits a machine-readable BENCH_planner.json, the
-// benchmark trajectory this and future perf PRs are tracked against.
+// Command benchjson runs the repo's fixed-seed benchmarks and emits a
+// machine-readable trajectory file (see internal/benchfmt), the record
+// this and future perf PRs are tracked against. It has two modes:
 //
-// The workloads are seeded identically on every run (and identical to the
-// corresponding go-test benchmarks: BenchmarkSolveK4/K6, BenchmarkDeploy,
-// BenchmarkAPSP, BenchmarkPathsDeltaRefresh, BenchmarkChaosDriftMaintain,
-// BenchmarkMigrate, BenchmarkAdaptControl), so the
-// measured code path is reproducible; only the wall-clock figures move
-// with the hardware. CI
+// Planner mode (default) runs the planner hot-path benchmarks and writes
+// BENCH_planner.json. The workloads are seeded identically on every run
+// (and identical to the corresponding go-test benchmarks:
+// BenchmarkSolveK4/K6, BenchmarkDeploy, BenchmarkAPSP,
+// BenchmarkPathsDeltaRefresh, BenchmarkChaosDriftMaintain,
+// BenchmarkMigrate, BenchmarkAdaptControl), so the measured code path is
+// reproducible; only the wall-clock figures move with the hardware. CI
 // runs it with short iterations and uploads the artifact:
 //
 //	go run ./cmd/benchjson -benchtime 10x -o BENCH_planner.json
 //
+// Serving mode (-serving) runs the query-serving load scenarios instead
+// (internal/serve.BenchScenarios): each boots a sharded in-process smqd,
+// replays a seed-pinned synthesized trace through the ReqBench-style
+// harness over real HTTP, and records p50/p95/p99 plan latency,
+// deploys/sec and admission rejections into BENCH_serving.json:
+//
+//	go run ./cmd/benchjson -serving -o BENCH_serving.json
+//
 // With -compare the fresh run is diffed against a committed baseline and
-// the process exits non-zero on regression — more than 25% ns/op (tune
-// with -threshold) or ANY allocs/op increase:
+// the process exits non-zero on regression — more than 25% ns/op or
+// serving p95/p99 (tune with -threshold) or ANY allocs/op increase:
 //
 //	go run ./cmd/benchjson -benchtime 100x -compare BENCH_planner.json
+//	go run ./cmd/benchjson -serving -compare BENCH_serving.json
 //
-// Compare two files with the trajectory in mind: ns_per_op and
-// plans_per_sec are hardware-relative, allocs_per_op and bytes_per_op are
-// not — an allocs/op regression is a real regression on any machine.
-// That asymmetry is why the ns/op gate carries a generous tolerance
-// while the allocs/op gate carries none.
+// Compare two files with the trajectory in mind: ns_per_op, the serving
+// quantiles and plans_per_sec are hardware-relative, allocs_per_op and
+// bytes_per_op are not — an allocs/op regression is a real regression on
+// any machine. That asymmetry is why the ns/op gate carries a generous
+// tolerance while the allocs/op gate carries none.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -38,54 +46,15 @@ import (
 	"hnp"
 	"hnp/internal/adapt"
 	"hnp/internal/baseline"
+	"hnp/internal/benchfmt"
 	"hnp/internal/chaos"
 	"hnp/internal/core"
 	"hnp/internal/hierarchy"
 	"hnp/internal/iflow"
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
+	"hnp/internal/serve"
 )
-
-// benchResult is one benchmark's measurement in the JSON trajectory.
-type benchResult struct {
-	Name       string `json:"name"`
-	Iterations int    `json:"iterations"`
-	NsPerOp    int64  `json:"ns_per_op"`
-	AllocsOp   int64  `json:"allocs_per_op"`
-	BytesOp    int64  `json:"bytes_per_op"`
-	// PlansPerSec is the rate of plan candidates actually examined per
-	// wall-clock second (0 where the notion doesn't apply): the DP's
-	// relaxation count (core.SolveWork) for the Solve benchmarks, the
-	// measured per-query search accounting for Deploy. It is NOT the
-	// nominal exhaustive space the DP covers (cost.ClusterSpace) divided
-	// by time — that figure measures the space the shared-subproblem
-	// formulation avoids enumerating and once inflated this metric to an
-	// absurd ~10^14/s.
-	PlansPerSec float64 `json:"plans_per_sec,omitempty"`
-	// OpsChurnedPerOp is the operator churn one op costs a deployed
-	// system — operators stopped or started, windows and statistics lost
-	// with each (0 where the notion doesn't apply). Like allocs_per_op it
-	// is hardware-independent: a churn regression is real on any machine.
-	OpsChurnedPerOp float64 `json:"ops_churned_per_op,omitempty"`
-	// BytesVsNever / BytesVsAlways are the adaptive controller's total
-	// transport bytes on the pinned chaos rate-shift seed relative to the
-	// never-migrate and always-remigrate baselines (below 1.0 means the
-	// controller wins; 0 where the notion doesn't apply). Also
-	// hardware-independent: a ratio regression is real on any machine.
-	BytesVsNever  float64 `json:"bytes_vs_never,omitempty"`
-	BytesVsAlways float64 `json:"bytes_vs_always,omitempty"`
-}
-
-type trajectory struct {
-	Schema     string        `json:"schema"`
-	Tool       string        `json:"tool"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	Seed       int64         `json:"seed"`
-	Benchtime  string        `json:"benchtime"`
-	Benchmarks []benchResult `json:"benchmarks"`
-}
 
 const seed = 7
 
@@ -193,9 +162,9 @@ const driftWarmup = 2048
 
 // measure runs fn under testing.Benchmark and records it. plansPerOp, when
 // non-zero, is the number of plan candidates one op examines.
-func measure(out *[]benchResult, name string, plansPerOp float64, fn func(b *testing.B)) {
+func measure(out *[]benchfmt.Result, name string, plansPerOp float64, fn func(b *testing.B)) {
 	r := testing.Benchmark(fn)
-	br := benchResult{
+	br := benchfmt.Result{
 		Name:       name,
 		Iterations: r.N,
 		NsPerOp:    r.NsPerOp(),
@@ -212,26 +181,49 @@ func measure(out *[]benchResult, name string, plansPerOp float64, fn func(b *tes
 
 func main() {
 	var (
-		benchtime = flag.String("benchtime", "1s", "per-benchmark budget (testing syntax: 1s, 100x, ...)")
-		outPath   = flag.String("o", "BENCH_planner.json", "output file ('-' for stdout)")
-		compare   = flag.String("compare", "", "baseline BENCH_planner.json to diff this run against; exit 3 on regression")
-		threshold = flag.Float64("threshold", 0.25, "ns/op regression tolerance for -compare, as a fraction (allocs/op tolerates nothing)")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark budget (testing syntax: 1s, 100x, ...); planner mode only")
+		outPath   = flag.String("o", "", "output file ('-' for stdout; default BENCH_planner.json, or BENCH_serving.json with -serving)")
+		compare   = flag.String("compare", "", "baseline trajectory to diff this run against; exit 3 on regression")
+		threshold = flag.Float64("threshold", 0.25, "ns/op (and serving p95/p99) regression tolerance for -compare, as a fraction (allocs/op tolerates nothing)")
+		serving   = flag.Bool("serving", false, "run the query-serving load scenarios instead of the planner benchmarks")
 	)
 	testing.Init()
 	flag.Parse()
+	if *outPath == "" {
+		if *serving {
+			*outPath = "BENCH_serving.json"
+		} else {
+			*outPath = "BENCH_planner.json"
+		}
+	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: bad -benchtime: %v\n", err)
 		os.Exit(1)
 	}
 
-	traj := trajectory{
-		Schema:    "hnp-bench/v1",
+	traj := benchfmt.Trajectory{
+		Schema:    benchfmt.Schema,
 		Tool:      "cmd/benchjson",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Seed:      seed,
 		Benchtime: *benchtime,
+	}
+	if *serving {
+		traj.Tool = "cmd/benchjson -serving"
+		traj.Benchtime = "trace"
+		for _, sc := range serve.BenchScenarios(seed) {
+			res, rep, err := serve.RunBench(sc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", sc.Name, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%-12s %s\n", sc.Name, rep)
+			traj.Benchmarks = append(traj.Benchmarks, res)
+		}
+		finish(traj, *outPath, *compare, *threshold)
+		return
 	}
 
 	// SolveK4/K6: the in-cluster DP kernel over all 32 sites.
@@ -532,96 +524,30 @@ func main() {
 		}
 	}
 
-	buf, err := json.MarshalIndent(traj, "", "  ")
-	if err != nil {
+	finish(traj, *outPath, *compare, *threshold)
+}
+
+// finish writes the trajectory and, with -compare, diffs it against the
+// baseline, exiting 3 on regression.
+func finish(traj benchfmt.Trajectory, outPath, compare string, threshold float64) {
+	if err := benchfmt.Write(outPath, traj); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	buf = append(buf, '\n')
-	if *outPath == "-" {
-		os.Stdout.Write(buf)
-	} else {
-		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+	if outPath != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 	}
 
-	if *compare != "" {
-		base, err := loadTrajectory(*compare)
+	if compare != "" {
+		base, err := benchfmt.Load(compare)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: -compare: %v\n", err)
 			os.Exit(1)
 		}
-		if regressions := diffTrajectories(os.Stdout, base, traj, *threshold); regressions > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed vs %s\n", regressions, *compare)
+		if regressions := benchfmt.Diff(os.Stdout, base, traj, threshold); regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed vs %s\n", regressions, compare)
 			os.Exit(3)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s\n", *compare)
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s\n", compare)
 	}
-}
-
-// loadTrajectory reads and validates a previously written trajectory.
-func loadTrajectory(path string) (trajectory, error) {
-	var t trajectory
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return t, err
-	}
-	if err := json.Unmarshal(buf, &t); err != nil {
-		return t, fmt.Errorf("%s: %w", path, err)
-	}
-	if t.Schema != "hnp-bench/v1" {
-		return t, fmt.Errorf("%s: unsupported schema %q", path, t.Schema)
-	}
-	return t, nil
-}
-
-// diffTrajectories prints a per-benchmark diff of cur against base and
-// returns how many benchmarks regressed: ns/op beyond the tolerance
-// (hardware-relative, hence the slack) or any allocs/op increase
-// (hardware-independent, hence none). Benchmarks present on only one
-// side are reported but never counted as regressions — renames and
-// additions are trajectory changes, not slowdowns.
-func diffTrajectories(w io.Writer, base, cur trajectory, tol float64) int {
-	byName := map[string]benchResult{}
-	for _, b := range base.Benchmarks {
-		byName[b.Name] = b
-	}
-	fmt.Fprintf(w, "baseline %s/%s go %s benchtime %s; this run benchtime %s; ns/op tolerance +%.0f%%\n",
-		base.GOOS, base.GOARCH, base.GoVersion, base.Benchtime, cur.Benchtime, tol*100)
-	regressions := 0
-	for _, c := range cur.Benchmarks {
-		b, ok := byName[c.Name]
-		if !ok {
-			fmt.Fprintf(w, "%-16s new (no baseline entry)\n", c.Name)
-			continue
-		}
-		delete(byName, c.Name)
-		verdict := "ok"
-		var pct float64
-		if b.NsPerOp > 0 {
-			pct = 100 * (float64(c.NsPerOp) - float64(b.NsPerOp)) / float64(b.NsPerOp)
-			if float64(c.NsPerOp) > float64(b.NsPerOp)*(1+tol) {
-				verdict = "REGRESSION ns/op"
-			}
-		}
-		if c.AllocsOp > b.AllocsOp {
-			if verdict == "ok" {
-				verdict = "REGRESSION allocs/op"
-			} else {
-				verdict += "+allocs/op"
-			}
-		}
-		if verdict != "ok" {
-			regressions++
-		}
-		fmt.Fprintf(w, "%-16s ns/op %10d -> %10d (%+6.1f%%)  allocs/op %5d -> %5d  %s\n",
-			c.Name, b.NsPerOp, c.NsPerOp, pct, b.AllocsOp, c.AllocsOp, verdict)
-	}
-	for name := range byName {
-		fmt.Fprintf(w, "%-16s dropped (in baseline, not in this run)\n", name)
-	}
-	return regressions
 }

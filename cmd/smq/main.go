@@ -46,7 +46,6 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -305,33 +304,10 @@ func runExplain(seed int64, trace bool) error {
 // /trace?query=N) in the background for the lifetime of the process.
 func serveDebug(addr string) {
 	obs.PublishExpvar("hnp", obs.Default)
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := (obs.JSONSink{W: w}).Emit(obs.Default.Snapshot()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	http.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		if err := traceSrc.Load().Tracer().WriteJSONL(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	http.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		events := traceSrc.Load().Tracer().Snapshot()
-		if q := r.URL.Query().Get("query"); q != "" {
-			n, err := strconv.Atoi(q)
-			if err != nil {
-				http.Error(w, "trace: query must be an integer query ID", http.StatusBadRequest)
-				return
-			}
-			events = obs.FilterTrace(events, obs.QueryTrace(n))
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if err := obs.RenderTimeline(w, events); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	http.HandleFunc("/metrics", obs.MetricsHandler(obs.Default.Snapshot))
+	tracer := func() *obs.Tracer { return traceSrc.Load().Tracer() }
+	http.HandleFunc("/flight", obs.FlightHandler(tracer))
+	http.HandleFunc("/trace", obs.TraceHandler(tracer))
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "smq: debug server: %v\n", err)

@@ -311,6 +311,26 @@ func (s *System) DeployWhere(sources []StreamID, sink NodeID, algo Algorithm, pr
 	return d, nil
 }
 
+// Undeploy retracts a finalized deployment, reversing deployRecord: the
+// advertisements its plan created leave the registry (so planners stop
+// being offered streams nobody produces anymore) and its processing load
+// leaves the ledger. Advertisements the plan merely reused belong to the
+// deployment that created them and stay. It returns the number of
+// retracted advertisements. Planning-level bookkeeping only — tearing
+// down live operators (with reference counting for shared subtrees) is
+// the IFLOW runtime's Undeploy.
+func (s *System) Undeploy(d Deployment) int {
+	if d.Query == nil || d.Plan == nil {
+		return 0
+	}
+	removed := s.Registry.Prune(func(ad ads.Ad) bool { return ad.QueryID != d.Query.ID })
+	s.tracker.RemovePlan(d.Plan)
+	if obs.On() {
+		s.Obs.Counter("system.undeploys").Inc()
+	}
+	return removed
+}
+
 // DeployCQL parses a SQL-like continuous query (the paper's query
 // syntax; see internal/cql for the grammar) against the catalog, plans it
 // with the chosen algorithm — predicates, containment and aggregates

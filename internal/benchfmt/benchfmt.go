@@ -1,0 +1,172 @@
+// Package benchfmt defines the machine-readable benchmark-trajectory
+// format shared by cmd/benchjson (planner hot-path benchmarks,
+// BENCH_planner.json) and cmd/smqbench (serving-load benchmarks,
+// BENCH_serving.json), plus the regression diff both gate on.
+//
+// Two families of figures live in one schema. Hardware-relative numbers
+// (ns/op, latency quantiles, deploys/sec) move with the machine, so the
+// diff tolerates a configurable fraction on them. Hardware-independent
+// numbers (allocs/op, churn ratios) are real regressions on any machine
+// and tolerate nothing.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Schema identifies the trajectory format; Load rejects anything else.
+const Schema = "hnp-bench/v1"
+
+// Result is one benchmark's measurement in the JSON trajectory.
+type Result struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	AllocsOp   int64  `json:"allocs_per_op"`
+	BytesOp    int64  `json:"bytes_per_op"`
+	// PlansPerSec is the rate of plan candidates actually examined per
+	// wall-clock second (0 where the notion doesn't apply): the DP's
+	// relaxation count (core.SolveWork) for the Solve benchmarks, the
+	// measured per-query search accounting for Deploy. It is NOT the
+	// nominal exhaustive space the DP covers (cost.ClusterSpace) divided
+	// by time — that figure measures the space the shared-subproblem
+	// formulation avoids enumerating and once inflated this metric to an
+	// absurd ~10^14/s.
+	PlansPerSec float64 `json:"plans_per_sec,omitempty"`
+	// OpsChurnedPerOp is the operator churn one op costs a deployed
+	// system — operators stopped or started, windows and statistics lost
+	// with each (0 where the notion doesn't apply). Like allocs_per_op it
+	// is hardware-independent: a churn regression is real on any machine.
+	OpsChurnedPerOp float64 `json:"ops_churned_per_op,omitempty"`
+	// BytesVsNever / BytesVsAlways are the adaptive controller's total
+	// transport bytes on the pinned chaos rate-shift seed relative to the
+	// never-migrate and always-remigrate baselines (below 1.0 means the
+	// controller wins; 0 where the notion doesn't apply). Also
+	// hardware-independent: a ratio regression is real on any machine.
+	BytesVsNever  float64 `json:"bytes_vs_never,omitempty"`
+	BytesVsAlways float64 `json:"bytes_vs_always,omitempty"`
+
+	// Serving-harness figures (cmd/smqbench / benchjson -serving; 0 where
+	// the notion doesn't apply). For serving entries NsPerOp carries the
+	// p50 plan latency, and the tail quantiles below are gated with the
+	// same hardware-relative tolerance as ns/op.
+	P95Ns int64 `json:"p95_ns,omitempty"`
+	P99Ns int64 `json:"p99_ns,omitempty"`
+	// DeploysPerSec is the sustained successful-deploy throughput of the
+	// serving run (hardware-relative, informational in the diff).
+	DeploysPerSec float64 `json:"deploys_per_sec,omitempty"`
+	// Rejected counts admission-control rejections (HTTP 429) during the
+	// run. Timing-dependent even on one machine, hence informational.
+	Rejected int64 `json:"rejected,omitempty"`
+	// Errors counts failed requests that were neither successes nor
+	// admission rejections (transport errors, unexpected statuses).
+	Errors int64 `json:"errors,omitempty"`
+}
+
+// Trajectory is one benchmark run: environment provenance plus results.
+type Trajectory struct {
+	Schema     string   `json:"schema"`
+	Tool       string   `json:"tool"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Seed       int64    `json:"seed"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Load reads and validates a previously written trajectory.
+func Load(path string) (Trajectory, error) {
+	var t Trajectory
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(buf, &t); err != nil {
+		return t, fmt.Errorf("%s: %w", path, err)
+	}
+	if t.Schema != Schema {
+		return t, fmt.Errorf("%s: unsupported schema %q", path, t.Schema)
+	}
+	return t, nil
+}
+
+// Write marshals the trajectory to path ("-" for stdout), indented, with
+// a trailing newline so the committed artifact diffs cleanly.
+func Write(path string, t Trajectory) error {
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Diff prints a per-benchmark diff of cur against base and returns how
+// many benchmarks regressed: ns/op beyond the tolerance, a serving
+// entry's p95/p99 beyond double the tolerance (tails are noisier than
+// medians), or any allocs/op increase (hardware-independent, hence no
+// slack at all). Benchmarks
+// present on only one side are reported but never counted as regressions
+// — renames and additions are trajectory changes, not slowdowns.
+func Diff(w io.Writer, base, cur Trajectory, tol float64) int {
+	byName := map[string]Result{}
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "baseline %s/%s go %s benchtime %s; this run benchtime %s; ns/op tolerance +%.0f%%\n",
+		base.GOOS, base.GOARCH, base.GoVersion, base.Benchtime, cur.Benchtime, tol*100)
+	regressions := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-16s new (no baseline entry)\n", c.Name)
+			continue
+		}
+		delete(byName, c.Name)
+		var verdicts []string
+		var pct float64
+		slower := func(cur, base int64, t float64) bool {
+			return base > 0 && float64(cur) > float64(base)*(1+t)
+		}
+		if b.NsPerOp > 0 {
+			pct = 100 * (float64(c.NsPerOp) - float64(b.NsPerOp)) / float64(b.NsPerOp)
+			if slower(c.NsPerOp, b.NsPerOp, tol) {
+				verdicts = append(verdicts, "ns/op")
+			}
+		}
+		if c.AllocsOp > b.AllocsOp {
+			verdicts = append(verdicts, "allocs/op")
+		}
+		// Tail quantiles are estimated from far fewer effective samples
+		// than the median — a p99 over ~1k requests moves with a single
+		// scheduler hiccup — so they get double the tolerance.
+		if slower(c.P95Ns, b.P95Ns, 2*tol) {
+			verdicts = append(verdicts, "p95")
+		}
+		if slower(c.P99Ns, b.P99Ns, 2*tol) {
+			verdicts = append(verdicts, "p99")
+		}
+		verdict := "ok"
+		if len(verdicts) > 0 {
+			regressions++
+			verdict = "REGRESSION " + verdicts[0]
+			for _, v := range verdicts[1:] {
+				verdict += "+" + v
+			}
+		}
+		fmt.Fprintf(w, "%-16s ns/op %10d -> %10d (%+6.1f%%)  allocs/op %5d -> %5d  %s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, pct, b.AllocsOp, c.AllocsOp, verdict)
+	}
+	for name := range byName {
+		fmt.Fprintf(w, "%-16s dropped (in baseline, not in this run)\n", name)
+	}
+	return regressions
+}

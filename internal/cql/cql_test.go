@@ -115,17 +115,17 @@ func TestAggregateClause(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	cat := catalog()
 	cases := map[string]string{
-		"FROM FLIGHTS":                                 "expected SELECT",
-		"SELECT * FROM NOPE":                           "unknown stream",
-		"SELECT * FROM FLIGHTS, FLIGHTS":               "duplicate stream",
-		"SELECT * FROM FLIGHTS WHERE WEATHER.X < 0.5":  "not in FROM",
-		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X < 2":    "empty/invalid range",
-		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X ? 1":    "unexpected character",
-		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X < 'A'":  "must use '='",
-		"SELECT * FROM FLIGHTS trailing":               "unexpected",
-		"SELECT * FROM FLIGHTS WINDOW 0 AGGREGATE SUM": "window must be positive",
-		"SELECT * FROM FLIGHTS WINDOW 5 AGGREGATE XXX": "unknown aggregate",
-		"SELECT * FROM FLIGHTS WHERE FLIGHTS.A = 'x":   "unterminated string",
+		"FROM FLIGHTS":                                               "expected SELECT",
+		"SELECT * FROM NOPE":                                         "unknown stream",
+		"SELECT * FROM FLIGHTS, FLIGHTS":                             "duplicate stream",
+		"SELECT * FROM FLIGHTS WHERE WEATHER.X < 0.5":                "not in FROM",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X < 2":                  "empty/invalid range",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X ? 1":                  "unexpected character",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X < 'A'":                "must use '='",
+		"SELECT * FROM FLIGHTS trailing":                             "unexpected",
+		"SELECT * FROM FLIGHTS WINDOW 0 AGGREGATE SUM":               "window must be positive",
+		"SELECT * FROM FLIGHTS WINDOW 5 AGGREGATE XXX":               "unknown aggregate",
+		"SELECT * FROM FLIGHTS WHERE FLIGHTS.A = 'x":                 "unterminated string",
 		"SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.A = FLIGHTS.B": "self-join",
 		"SELECT * FROM FLIGHTS WHERE FLIGHTS.X BETWEEN 0.5 AND 0.1":  "invalid range",
 	}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admissionConfig: one shard with two in-flight slots, so saturation is
+// exact and every statement routes to the same semaphore.
+func admissionConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Shards = 1
+	cfg.Nodes = 48
+	cfg.MaxCS = 16
+	cfg.Streams = 12
+	cfg.MaxInFlight = 2
+	return cfg
+}
+
+// waitInFlight polls the serving.inflight gauge until it reaches want.
+func waitInFlight(t *testing.T, s *Server, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Obs.Snapshot().Gauges["serving.inflight"] == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("serving.inflight never reached %g (now %g)",
+		want, s.Obs.Snapshot().Gauges["serving.inflight"])
+}
+
+// TestAdmissionControl saturates the single shard with deliberately
+// stalled planners and checks the whole backpressure contract: in-flight
+// plans stay bounded at MaxInFlight, excess requests get 429 +
+// Retry-After, the serving.rejected counter matches the observed
+// rejections exactly, and the shard accepts work again once slots free.
+func TestAdmissionControl(t *testing.T) {
+	s, err := NewServer(admissionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	release := make(chan struct{})
+	s.planHook = func() { <-release }
+
+	// Fill both slots with deploys that stall inside the planner.
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: testStmt, Sink: i})
+		}(i)
+	}
+	waitInFlight(t, s, 2)
+
+	// Every further request must be shed at the door, immediately.
+	const extra = 5
+	var observed429 int64
+	for i := 0; i < extra; i++ {
+		body, _ := json.Marshal(DeployRequest{CQL: testStmt, Sink: 10 + i})
+		resp, err := http.Post(ts.URL+"/deploy", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d while saturated: %d, want 429", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After header")
+		}
+		resp.Body.Close()
+		observed429++
+	}
+	// In-flight never exceeded the bound while we hammered.
+	if got := s.Obs.Snapshot().Gauges["serving.inflight"]; got != 2 {
+		t.Fatalf("serving.inflight = %g during saturation, want 2", got)
+	}
+	// Telemetry matches the client-observed rejections exactly.
+	if st := s.Stats(); st.Rejected != observed429 {
+		t.Fatalf("serving.rejected = %d, observed %d rejections", st.Rejected, observed429)
+	}
+
+	// Release the stalled planners: both complete successfully.
+	close(release)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("stalled deploy %d finished with %d, want 200", i, code)
+		}
+	}
+	waitInFlight(t, s, 0)
+
+	// The shard admits again; no new rejections accrue.
+	if code, body := postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: testStmt, Sink: 3}); code != http.StatusOK {
+		t.Fatalf("deploy after drain: %d %s", code, body)
+	}
+	if st := s.Stats(); st.Rejected != observed429 || st.Deploys != 3 {
+		t.Fatalf("final stats: %+v, want rejected=%d deploys=3", st, observed429)
+	}
+}

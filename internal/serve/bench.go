@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"net/http/httptest"
+
+	"hnp/internal/benchfmt"
+	"hnp/internal/workload"
+)
+
+// BenchScenario is one pinned serving-benchmark setting: a server shape,
+// a synthesized trace and harness options. Scenario definitions are the
+// contract behind the committed BENCH_serving.json — the same seeds
+// replay the same request sequences on every machine, so only the
+// measured latencies move with the hardware.
+type BenchScenario struct {
+	Name   string
+	Server Config
+	Trace  workload.TraceConfig
+	Load   LoadOptions
+}
+
+// BenchScenarios returns the standard serving trajectory entries:
+//
+//   - ServeSteady: 4 shards at a comfortable arrival rate — the
+//     steady-state serving latency and deploy throughput figures.
+//   - ServeBurst: one shard, the tightest admission (1 in-flight plan),
+//     20× arrival bursts — the overload shape, where backpressure (429s)
+//     engages on parallel hardware and the rejection count becomes a
+//     figure.
+func BenchScenarios(seed int64) []BenchScenario {
+	steadyTrace := workload.DefaultTrace(seed)
+	steadyTrace.Duration, steadyTrace.Rate = 8, 120
+
+	// One shard, a single in-flight plan slot, 20× bursts replayed at 8×:
+	// the burst-window arrival gap drops well under one planning time, so
+	// on parallel hardware admission control engages and sheds load
+	// (nonzero Rejected). The count is parallelism-dependent — a
+	// single-core box rarely overlaps two sub-millisecond plans, so its
+	// baseline may legitimately record zero — which is why the diff treats
+	// Rejected as informational; the admission-control contract itself is
+	// pinned deterministically by the tests in admission_test.go.
+	burstSrv := DefaultConfig()
+	burstSrv.Seed = seed
+	burstSrv.Shards = 1
+	burstSrv.MaxInFlight = 1
+	burstTrace := workload.DefaultTrace(seed + 1)
+	burstTrace.Duration, burstTrace.Rate = 8, 60
+	burstTrace.BurstEvery, burstTrace.BurstLen, burstTrace.BurstFactor = 2, 0.4, 20
+	burstTrace.UndeployFrac = 0.1
+
+	steadySrv := DefaultConfig()
+	steadySrv.Seed = seed
+	return []BenchScenario{
+		{
+			Name:   "ServeSteady",
+			Server: steadySrv,
+			Trace:  steadyTrace,
+			Load:   LoadOptions{Senders: 8, Speedup: 4},
+		},
+		{
+			Name:   "ServeBurst",
+			Server: burstSrv,
+			Trace:  burstTrace,
+			Load:   LoadOptions{Senders: 16, Speedup: 8},
+		},
+	}
+}
+
+// RunBench builds the scenario's server in-process, replays its trace
+// through the load harness over real HTTP (httptest), and converts the
+// collector's report into a trajectory entry: ns/op carries the p50 plan
+// latency, p95/p99 the tails, plus deploys/sec and the rejection count.
+func RunBench(sc BenchScenario) (benchfmt.Result, *LoadReport, error) {
+	srv, err := NewServer(sc.Server)
+	if err != nil {
+		return benchfmt.Result{}, nil, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	tr, err := workload.SynthesizeTrace(sc.Trace, srv.StreamNames(), sc.Server.Nodes)
+	if err != nil {
+		return benchfmt.Result{}, nil, err
+	}
+	rep, err := RunLoad(ts.URL, tr, sc.Load)
+	if err != nil {
+		return benchfmt.Result{}, nil, err
+	}
+	return benchfmt.Result{
+		Name:          sc.Name,
+		Iterations:    int(rep.Deploys),
+		NsPerOp:       rep.Quantile(0.50).Nanoseconds(),
+		P95Ns:         rep.Quantile(0.95).Nanoseconds(),
+		P99Ns:         rep.Quantile(0.99).Nanoseconds(),
+		DeploysPerSec: rep.DeploysPerSec(),
+		Rejected:      rep.Rejected,
+		Errors:        rep.Errors,
+	}, rep, nil
+}

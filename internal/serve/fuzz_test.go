@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+// fuzzServer builds one small shared server for the whole fuzz run: a
+// tight MaxBody (1 KiB) so oversized inputs exercise the 413 path
+// without megabyte corpus entries.
+func fuzzServer(f *testing.F) *Server {
+	fuzzOnce.Do(func() {
+		cfg := testConfig()
+		cfg.MaxBody = 1 << 10
+		s, err := NewServer(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzSrv = s
+	})
+	return fuzzSrv
+}
+
+// FuzzServeDeploy feeds raw wire payloads through the server's decode
+// path: the handler must never panic and must answer every input with
+// one of its documented statuses. Deployments that succeed are undone
+// immediately so the shared server's state stays bounded.
+func FuzzServeDeploy(f *testing.F) {
+	// Wire-shaped seeds: the happy path plus truncated bodies, wrong-type
+	// JSON, oversized statements, non-UTF-8 bytes and hostile parameters.
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-1, stream-4", "sink": 3}`))
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-1, stream-4", "sink": 3, "algo": "bottom-up", "tenant": "t9"}`))
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-`)) // truncated mid-statement
+	f.Add([]byte(`{"cql": 42}`))                    // wrong JSON type
+	f.Add([]byte(`["not", "an", "object"]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte("{\"cql\": \"SELECT \xff\xfe * FROM x\"}"))      // invalid UTF-8 in raw JSON
+	f.Add([]byte(`{"cql": "SELECT \ufffd\u0000 FROM stream-0"}`)) // escapes decoding to hostile runes
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-0, stream-0"}`))  // duplicate stream
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-1, stream-2", "sink": -7}`))
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-1, stream-2", "sink": 1000000}`))
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-1, stream-2", "algo": "quantum"}`))
+	f.Add([]byte(fmt.Sprintf(`{"cql": "SELECT * FROM %s"}`, strings.Repeat("x", 2048)))) // oversized
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-1, stream-2 WHERE stream-1.a BETWEEN 0.9 AND 0.1"}`))
+	f.Add([]byte(`{"cql": "SELECT * FROM stream-1, stream-2 WINDOW -5 AGGREGATE EXPLODE"}`))
+
+	s := fuzzServer(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/deploy", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusOK:
+			var dr DeployResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &dr); err != nil {
+				t.Fatalf("200 with undecodable body %.200q: %v", w.Body.Bytes(), err)
+			}
+			ureq := httptest.NewRequest(http.MethodPost, fmt.Sprintf("/undeploy?id=%d", dr.ID), nil)
+			uw := httptest.NewRecorder()
+			s.ServeHTTP(uw, ureq)
+			if uw.Code != http.StatusOK {
+				t.Fatalf("undeploy of fuzz-deployed %d: %d", dr.ID, uw.Code)
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusTooManyRequests:
+			var er ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("%d with non-error body %.200q", w.Code, w.Body.Bytes())
+			}
+		default:
+			t.Fatalf("unexpected status %d for body %.200q", w.Code, body)
+		}
+	})
+}

@@ -1,0 +1,212 @@
+// ReqBench-style load harness: replay a synthesized workload trace
+// against a serving endpoint with N concurrent senders, and collect the
+// latency/throughput/rejection figures the serving trajectory
+// (BENCH_serving.json) is built from.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hnp/internal/workload"
+)
+
+// LoadOptions shapes one harness run.
+type LoadOptions struct {
+	// Senders is the number of concurrent request goroutines.
+	Senders int
+	// Speedup compresses trace time: an event at trace time t fires at
+	// wall time t/Speedup (default 1). Arrivals are open-loop — the
+	// dispatcher follows the trace clock regardless of how the server
+	// keeps up, so overload shows up as latency and rejections, not as a
+	// silently slower trace.
+	Speedup float64
+	// Timeout bounds each request round trip (default 30s).
+	Timeout time.Duration
+}
+
+// LoadReport is the collector's output for one run.
+type LoadReport struct {
+	// Sent counts dispatched requests; Deploys/Undeploys successful
+	// lifecycle calls; Rejected admission rejections (HTTP 429); Errors
+	// everything else that failed; SkippedUndeploys undeploy events that
+	// found nothing outstanding to retire.
+	Sent, Deploys, Undeploys, Rejected, Errors, SkippedUndeploys int64
+	// Wall is the harness wall-clock time from first dispatch to last
+	// response.
+	Wall time.Duration
+	// Latencies holds one round-trip latency per successful deploy.
+	Latencies []time.Duration
+}
+
+// Quantile returns the q-quantile (0..1) of the deploy latencies by
+// nearest rank, 0 with no samples.
+func (r *LoadReport) Quantile(q float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// DeploysPerSec returns the sustained successful-deploy throughput.
+func (r *LoadReport) DeploysPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Deploys) / r.Wall.Seconds()
+}
+
+// String summarizes the report in one line.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("sent=%d deploys=%d undeploys=%d rejected=%d errors=%d skipped=%d wall=%s p50=%s p95=%s p99=%s deploys/s=%.1f",
+		r.Sent, r.Deploys, r.Undeploys, r.Rejected, r.Errors, r.SkippedUndeploys,
+		r.Wall.Round(time.Millisecond),
+		r.Quantile(0.50).Round(time.Microsecond),
+		r.Quantile(0.95).Round(time.Microsecond),
+		r.Quantile(0.99).Round(time.Microsecond),
+		r.DeploysPerSec())
+}
+
+// idQueue tracks outstanding deployment handles so undeploy events can
+// retire the oldest one (FIFO keeps retirement deterministic given the
+// completion order).
+type idQueue struct {
+	mu  sync.Mutex
+	ids []int64
+}
+
+func (q *idQueue) push(id int64) {
+	q.mu.Lock()
+	q.ids = append(q.ids, id)
+	q.mu.Unlock()
+}
+
+func (q *idQueue) pop() (int64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.ids) == 0 {
+		return 0, false
+	}
+	id := q.ids[0]
+	q.ids = q.ids[1:]
+	return id, true
+}
+
+// RunLoad replays the trace against the serving endpoint at baseURL
+// (e.g. "http://127.0.0.1:8080") and collects the run's figures. The
+// dispatcher paces arrivals on the (speedup-compressed) trace clock;
+// opt.Senders goroutines drain them concurrently.
+func RunLoad(baseURL string, tr *workload.Trace, opt LoadOptions) (*LoadReport, error) {
+	if len(tr.Events) == 0 {
+		return nil, fmt.Errorf("serve: empty trace")
+	}
+	if opt.Senders < 1 {
+		opt.Senders = 1
+	}
+	if opt.Speedup <= 0 {
+		opt.Speedup = 1
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	// Keep one idle connection per sender: the default transport caches
+	// only 2 per host, which would make most requests pay a fresh TCP
+	// dial and measure connection setup instead of serving latency.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = opt.Senders
+	client := &http.Client{Timeout: opt.Timeout, Transport: transport}
+
+	rep := &LoadReport{}
+	var (
+		latMu    sync.Mutex
+		deployed idQueue
+	)
+	jobs := make(chan workload.TraceEvent, len(tr.Events))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < opt.Senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range jobs {
+				atomic.AddInt64(&rep.Sent, 1)
+				switch ev.Kind {
+				case workload.KindDeploy:
+					body, _ := json.Marshal(DeployRequest{CQL: ev.CQL, Sink: ev.Sink, Tenant: ev.Tenant})
+					t0 := time.Now()
+					resp, err := client.Post(baseURL+"/deploy", "application/json", bytes.NewReader(body))
+					lat := time.Since(t0)
+					if err != nil {
+						atomic.AddInt64(&rep.Errors, 1)
+						continue
+					}
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var dr DeployResponse
+						if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+							atomic.AddInt64(&rep.Errors, 1)
+						} else {
+							atomic.AddInt64(&rep.Deploys, 1)
+							deployed.push(dr.ID)
+							latMu.Lock()
+							rep.Latencies = append(rep.Latencies, lat)
+							latMu.Unlock()
+						}
+					case http.StatusTooManyRequests:
+						atomic.AddInt64(&rep.Rejected, 1)
+					default:
+						atomic.AddInt64(&rep.Errors, 1)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				case workload.KindUndeploy:
+					id, ok := deployed.pop()
+					if !ok {
+						atomic.AddInt64(&rep.SkippedUndeploys, 1)
+						continue
+					}
+					resp, err := client.Post(fmt.Sprintf("%s/undeploy?id=%d", baseURL, id), "application/json", nil)
+					if err != nil {
+						atomic.AddInt64(&rep.Errors, 1)
+						continue
+					}
+					if resp.StatusCode == http.StatusOK {
+						atomic.AddInt64(&rep.Undeploys, 1)
+					} else {
+						atomic.AddInt64(&rep.Errors, 1)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	// Open-loop dispatcher: sleep to each event's compressed arrival time.
+	for _, ev := range tr.Events {
+		due := start.Add(time.Duration(ev.At / opt.Speedup * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- ev
+	}
+	close(jobs)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	return rep, nil
+}

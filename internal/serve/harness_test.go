@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"hnp/internal/workload"
+)
+
+// TestHarnessSmoke replays a short synthesized trace through the load
+// harness against a real HTTP server and cross-checks the client-side
+// collector against the server's own accounting.
+func TestHarnessSmoke(t *testing.T) {
+	s, err := NewServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	tc := workload.DefaultTrace(7)
+	tc.Duration = 2
+	tc.Rate = 80
+	tr, err := workload.SynthesizeTrace(tc, s.StreamNames(), testConfig().Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLoad(ts.URL, tr, LoadOptions{Senders: 4, Speedup: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("harness: %s", rep)
+
+	if rep.Errors != 0 {
+		t.Fatalf("harness saw %d errors: %s", rep.Errors, rep)
+	}
+	if rep.Sent != int64(len(tr.Events)) {
+		t.Fatalf("sent %d of %d events", rep.Sent, len(tr.Events))
+	}
+	if rep.Deploys == 0 {
+		t.Fatal("harness deployed nothing")
+	}
+	if int64(len(rep.Latencies)) != rep.Deploys {
+		t.Fatalf("%d latency samples for %d deploys", len(rep.Latencies), rep.Deploys)
+	}
+	st := s.Stats()
+	if st.Deploys != rep.Deploys || st.Undeploys != rep.Undeploys || st.Rejected != rep.Rejected {
+		t.Fatalf("server %+v disagrees with harness %s", st, rep)
+	}
+	if int64(st.Outstanding) != rep.Deploys-rep.Undeploys {
+		t.Fatalf("outstanding %d != deploys-undeploys %d", st.Outstanding, rep.Deploys-rep.Undeploys)
+	}
+	if rep.DeploysPerSec() <= 0 {
+		t.Fatal("no throughput figure")
+	}
+	// Quantiles are ordered and drawn from the sample set.
+	p50, p95, p99 := rep.Quantile(0.5), rep.Quantile(0.95), rep.Quantile(0.99)
+	if p50 > p95 || p95 > p99 || p50 <= 0 {
+		t.Fatalf("quantiles out of order: p50=%s p95=%s p99=%s", p50, p95, p99)
+	}
+}

@@ -1,0 +1,517 @@
+// Package serve is the query-serving front end: a long-running HTTP
+// server (cmd/smqd) that accepts CQL statements over the wire, plans and
+// deploys them against sharded hnp.System instances, and exposes the
+// lifecycle (deploy/undeploy/explain) plus the debug surfaces (/metrics,
+// /snapshot, /flight) as endpoints.
+//
+// Sharding: the server owns N independent hnp.Systems, each built from
+// the same seed over the same topology and catalog, and routes every
+// statement to the shard picked by a stable hash of (tenant, statement).
+// Within a shard the existing per-System concurrency contract applies —
+// any number of planners run under the shard's read lock — and across
+// shards deployments never contend at all. Identical statements from one
+// tenant always land on one shard, so the advertisement registry sees
+// every reuse opportunity the hash preserves.
+//
+// Admission control: each shard bounds its in-flight plans with a
+// semaphore. A request arriving at a full shard is rejected immediately
+// with 429 and a Retry-After header rather than queued — overload sheds
+// load at the door instead of growing latency without bound, and every
+// rejection is counted in "serving.rejected" so overload is measurable.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+
+	"hnp"
+	"hnp/internal/obs"
+	"hnp/internal/workload"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Shards is the number of independent hnp.System instances statements
+	// are routed across.
+	Shards int
+	// Nodes/MaxCS/Seed shape each shard's network and hierarchy (every
+	// shard builds the identical topology from the same seed).
+	Nodes, MaxCS int
+	Seed         int64
+	// Streams is the size of the synthesized stream catalog, drawn via
+	// workload.CatalogSpec from the same seed on every shard.
+	Streams int
+	// MaxInFlight bounds concurrently planning deployments per shard;
+	// requests beyond it are rejected with 429 (admission control).
+	MaxInFlight int
+	// MaxBody bounds request bodies in bytes; larger requests get 413.
+	MaxBody int64
+	// DefaultAlgo plans statements that don't name an algorithm.
+	DefaultAlgo hnp.Algorithm
+	// FlightRecorder arms each shard's causal flight recorder (served at
+	// /flight?shard=N).
+	FlightRecorder bool
+}
+
+// DefaultConfig returns the standard serving shape: 4 shards over the
+// paper's 128-node/max_cs=32 setting, a 24-stream catalog, 32 in-flight
+// plans per shard, 64 KiB bodies, Top-Down planning, recorder armed.
+func DefaultConfig() Config {
+	return Config{
+		Shards: 4, Nodes: 128, MaxCS: 32, Seed: 1,
+		Streams: 24, MaxInFlight: 32, MaxBody: 64 << 10,
+		DefaultAlgo:    hnp.AlgoTopDown,
+		FlightRecorder: true,
+	}
+}
+
+// ParseAlgo resolves the wire name of a planning algorithm ("" selects
+// the server default).
+func ParseAlgo(name string) (hnp.Algorithm, bool) {
+	switch name {
+	case "top-down":
+		return hnp.AlgoTopDown, true
+	case "bottom-up":
+		return hnp.AlgoBottomUp, true
+	case "optimal":
+		return hnp.AlgoOptimal, true
+	case "plan-then-deploy":
+		return hnp.AlgoPlanThenDeploy, true
+	}
+	return 0, false
+}
+
+// DeployRequest is the wire form of a deploy call.
+type DeployRequest struct {
+	// CQL is the statement to plan and deploy (see internal/cql).
+	CQL string `json:"cql"`
+	// Sink is the delivery node (default node 0).
+	Sink int `json:"sink"`
+	// Algo names the planner: "top-down", "bottom-up", "optimal",
+	// "plan-then-deploy"; empty selects the server default.
+	Algo string `json:"algo,omitempty"`
+	// Tenant multiplexes request streams; it participates in shard
+	// routing, so one tenant's identical statements share a shard.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// DeployResponse is the wire form of a successful deploy.
+type DeployResponse struct {
+	// ID is the server-wide deployment handle for undeploy/explain.
+	ID int64 `json:"id"`
+	// Shard is the shard the statement was routed to.
+	Shard int `json:"shard"`
+	// QueryID is the query's ID inside its shard's System.
+	QueryID int `json:"query_id"`
+	// Plan is the chosen operator tree, Cost its marginal communication
+	// cost per unit time.
+	Plan string  `json:"plan"`
+	Cost float64 `json:"cost"`
+	// PlanLatencyNs is the server-side parse+plan+deploy time.
+	PlanLatencyNs int64 `json:"plan_latency_ns"`
+	// ReusedLeaves counts plan inputs satisfied by previously advertised
+	// derived streams.
+	ReusedLeaves int `json:"reused_leaves"`
+	// PlansConsidered is the planner's search-space accounting.
+	PlansConsidered float64 `json:"plans_considered"`
+}
+
+// ErrorResponse is the wire form of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Stats is a point-in-time copy of the server's request accounting.
+type Stats struct {
+	Deploys, Undeploys, Rejected int64
+	ParseErrors, DecodeErrors    int64
+	Oversized                    int64
+	Outstanding                  int
+}
+
+type shard struct {
+	sys *hnp.System
+	sem chan struct{}
+}
+
+type record struct {
+	shard  int
+	tenant string
+	cql    string
+	dep    hnp.Deployment
+	planNs int64
+}
+
+// Server is the query-serving front end; it implements http.Handler.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	names  []string // catalog stream names, in StreamID order
+
+	// Obs is the server's own registry: the serving.* metric family
+	// (deploys, rejections, plan-latency histogram). Per-shard planner
+	// telemetry lives in each shard System's registry (/snapshot).
+	Obs *obs.Registry
+
+	mux    *http.ServeMux
+	nextID atomic.Int64
+	mu     sync.RWMutex
+	deps   map[int64]*record
+
+	// planHook, when set (tests only), runs while the admission slot is
+	// held, before planning: it lets tests saturate a shard
+	// deterministically.
+	planHook func()
+
+	cDeploys, cUndeploys, cRejected *obs.Counter
+	cParseErr, cDecodeErr, cOversz  *obs.Counter
+	gInFlight                       *obs.Gauge
+	hPlanSec                        *obs.Histogram
+}
+
+// NewServer builds the sharded systems and the HTTP surface. Serving is
+// pointless without its measurements, so telemetry is switched on
+// process-wide.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Shards < 1 || cfg.MaxInFlight < 1 {
+		return nil, fmt.Errorf("serve: need at least one shard and one in-flight slot")
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultConfig().MaxBody
+	}
+	hnp.EnableTelemetry()
+	wcfg := workload.Default(cfg.Streams, 0)
+	s := &Server{
+		cfg:  cfg,
+		Obs:  obs.NewRegistry(),
+		deps: map[int64]*record{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		g := hnp.TransitStubNetwork(cfg.Nodes, cfg.Seed)
+		sys, err := hnp.NewSystem(g, cfg.MaxCS, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		specs, sels, err := workload.CatalogSpec(wcfg, cfg.Nodes, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		ids := make([]hnp.StreamID, len(specs))
+		for j, sp := range specs {
+			ids[j] = sys.AddStream(sp.Name, sp.Rate, sp.Source)
+			if i == 0 {
+				s.names = append(s.names, sp.Name)
+			}
+		}
+		for _, sel := range sels {
+			sys.SetSelectivity(ids[sel.I], ids[sel.J], sel.Sel)
+		}
+		if cfg.FlightRecorder {
+			sys.Obs.Tracer().Enable()
+		}
+		s.shards = append(s.shards, &shard{sys: sys, sem: make(chan struct{}, cfg.MaxInFlight)})
+	}
+
+	s.cDeploys = s.Obs.Counter("serving.deploys")
+	s.cUndeploys = s.Obs.Counter("serving.undeploys")
+	s.cRejected = s.Obs.Counter("serving.rejected")
+	s.cParseErr = s.Obs.Counter("serving.parse_errors")
+	s.cDecodeErr = s.Obs.Counter("serving.decode_errors")
+	s.cOversz = s.Obs.Counter("serving.oversized")
+	s.gInFlight = s.Obs.Gauge("serving.inflight")
+	s.hPlanSec = s.Obs.Histogram("serving.plan_seconds", nil)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/deploy", s.handleDeploy)
+	mux.HandleFunc("/undeploy", s.handleUndeploy)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/metrics", obs.MetricsHandler(s.Obs.Snapshot))
+	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP dispatches to the server's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StreamNames returns the catalog's stream names in StreamID order —
+// what synthesized traces reference.
+func (s *Server) StreamNames() []string { return append([]string(nil), s.names...) }
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard's System (debug surfaces, tests).
+func (s *Server) Shard(i int) *hnp.System { return s.shards[i].sys }
+
+// Stats copies the request accounting.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	outstanding := len(s.deps)
+	s.mu.RUnlock()
+	return Stats{
+		Deploys:      s.cDeploys.Value(),
+		Undeploys:    s.cUndeploys.Value(),
+		Rejected:     s.cRejected.Value(),
+		ParseErrors:  s.cParseErr.Value(),
+		DecodeErrors: s.cDecodeErr.Value(),
+		Oversized:    s.cOversz.Value(),
+		Outstanding:  outstanding,
+	}
+}
+
+// ShardFor returns the shard a (tenant, statement) pair routes to: a
+// stable FNV-1a hash, so identical statements always meet their earlier
+// advertisements.
+func (s *Server) ShardFor(tenant, cql string) int {
+	h := fnv.New32a()
+	io.WriteString(h, tenant)
+	h.Write([]byte{0})
+	io.WriteString(h, cql)
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody reads and JSON-decodes a bounded request body into v,
+// classifying failures: 413 for oversized bodies, 400 otherwise.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.cOversz.Inc()
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBody)
+		} else {
+			s.cDecodeErr.Inc()
+			writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		s.cDecodeErr.Inc()
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req DeployRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.CQL == "" {
+		s.cDecodeErr.Inc()
+		writeErr(w, http.StatusBadRequest, "empty cql statement")
+		return
+	}
+	if !utf8.ValidString(req.CQL) {
+		s.cDecodeErr.Inc()
+		writeErr(w, http.StatusBadRequest, "cql statement is not valid UTF-8")
+		return
+	}
+	if req.Sink < 0 || req.Sink >= s.cfg.Nodes {
+		s.cDecodeErr.Inc()
+		writeErr(w, http.StatusBadRequest, "sink %d outside [0,%d)", req.Sink, s.cfg.Nodes)
+		return
+	}
+	algo := s.cfg.DefaultAlgo
+	if req.Algo != "" {
+		var ok bool
+		if algo, ok = ParseAlgo(req.Algo); !ok {
+			s.cDecodeErr.Inc()
+			writeErr(w, http.StatusBadRequest, "unknown algorithm %q", req.Algo)
+			return
+		}
+	}
+
+	si := s.ShardFor(req.Tenant, req.CQL)
+	sh := s.shards[si]
+	// Admission control: claim an in-flight slot or shed the request now.
+	select {
+	case sh.sem <- struct{}{}:
+	default:
+		s.cRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "shard %d at max in-flight plans (%d)", si, s.cfg.MaxInFlight)
+		return
+	}
+	defer func() { <-sh.sem }()
+	s.gInFlight.Add(1)
+	defer s.gInFlight.Add(-1)
+	if s.planHook != nil {
+		s.planHook()
+	}
+
+	start := time.Now()
+	dep, err := sh.sys.DeployCQL(req.CQL, hnp.NodeID(req.Sink), algo)
+	lat := time.Since(start)
+	if err != nil {
+		s.cParseErr.Inc()
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.hPlanSec.Observe(lat.Seconds())
+	s.cDeploys.Inc()
+
+	id := s.nextID.Add(1)
+	s.mu.Lock()
+	s.deps[id] = &record{shard: si, tenant: req.Tenant, cql: req.CQL, dep: dep, planNs: lat.Nanoseconds()}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, DeployResponse{
+		ID: id, Shard: si, QueryID: dep.Query.ID,
+		Plan: dep.Plan.String(), Cost: dep.Cost,
+		PlanLatencyNs:   lat.Nanoseconds(),
+		ReusedLeaves:    reusedLeaves(dep.Plan),
+		PlansConsidered: dep.PlansConsidered,
+	})
+}
+
+// UndeployRequest is the wire form of an undeploy call (the id may also
+// be passed as ?id=N).
+type UndeployRequest struct {
+	ID int64 `json:"id"`
+}
+
+func (s *Server) handleUndeploy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var id int64
+	if q := r.URL.Query().Get("id"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			s.cDecodeErr.Inc()
+			writeErr(w, http.StatusBadRequest, "id must be an integer")
+			return
+		}
+		id = n
+	} else {
+		var req UndeployRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		id = req.ID
+	}
+	s.mu.Lock()
+	rec, ok := s.deps[id]
+	if ok {
+		delete(s.deps, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown deployment id %d", id)
+		return
+	}
+	retracted := s.shards[rec.shard].sys.Undeploy(rec.dep)
+	s.cUndeploys.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "shard": rec.shard, "ads_retracted": retracted,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "explain needs ?id=N")
+		return
+	}
+	s.mu.RLock()
+	rec, ok := s.deps[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown deployment id %d", id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "deployment %d (shard %d, tenant %q)\ncql:  %s\nplan: %s\ncost: %.6g\nplan latency: %s\n\n",
+		id, rec.shard, rec.tenant, rec.cql, rec.dep.Plan, rec.dep.Cost,
+		time.Duration(rec.planNs))
+	rec.dep.ExplainTo(w)
+}
+
+// shardParam resolves an optional ?shard=N parameter; ok=false means the
+// response was already written.
+func (s *Server) shardParam(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	q := r.URL.Query().Get("shard")
+	if q == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 || n >= len(s.shards) {
+		writeErr(w, http.StatusBadRequest, "unknown shard %q (have %d)", q, len(s.shards))
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if q := r.URL.Query().Get("shard"); q != "" {
+		si, ok := s.shardParam(w, r, 0)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, s.shards[si].sys.Snapshot())
+		return
+	}
+	shardSnaps := make([]obs.Snapshot, len(s.shards))
+	for i, sh := range s.shards {
+		shardSnaps[i] = sh.sys.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"serving": s.Obs.Snapshot(),
+		"shards":  shardSnaps,
+	})
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	si, ok := s.shardParam(w, r, 0)
+	if !ok {
+		return
+	}
+	obs.FlightHandler(func() *obs.Tracer { return s.shards[si].sys.Obs.Tracer() })(w, r)
+}
+
+// reusedLeaves counts plan inputs satisfied by previously advertised
+// derived streams.
+func reusedLeaves(n *hnp.PlanNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		if n.In != nil && n.In.Derived {
+			return 1
+		}
+		return 0
+	}
+	return reusedLeaves(n.L) + reusedLeaves(n.R)
+}

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hnp"
+)
+
+// testConfig returns a small-but-real server shape: two shards over a
+// 48-node network so suites stay fast.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	cfg.Nodes = 48
+	cfg.MaxCS = 16
+	cfg.Streams = 12
+	return cfg
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postJSON posts v (pre-marshaled bytes pass through) and returns the
+// status code and body.
+func postJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	var body []byte
+	switch b := v.(type) {
+	case []byte:
+		body = b
+	case nil:
+	default:
+		var err error
+		if body, err = json.Marshal(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+const testStmt = "SELECT * FROM stream-1, stream-4 WHERE stream-1.temp < 0.6"
+
+// TestServeLifecycle walks the full deploy→explain→undeploy lifecycle
+// over the wire and checks the planning-level bookkeeping unwinds.
+func TestServeLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+
+	code, body := postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: testStmt, Sink: 7, Tenant: "t0"})
+	if code != http.StatusOK {
+		t.Fatalf("deploy: %d %s", code, body)
+	}
+	var dr DeployResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.ID == 0 || dr.Plan == "" || dr.Cost <= 0 || dr.PlanLatencyNs <= 0 {
+		t.Fatalf("implausible deploy response: %+v", dr)
+	}
+	if dr.Shard != s.ShardFor("t0", testStmt) {
+		t.Fatalf("deployed on shard %d, routing says %d", dr.Shard, s.ShardFor("t0", testStmt))
+	}
+
+	// The same statement from the same tenant routes to the same shard and
+	// meets its own advertisements.
+	code, body = postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: testStmt, Sink: 9, Tenant: "t0"})
+	if code != http.StatusOK {
+		t.Fatalf("re-deploy: %d %s", code, body)
+	}
+	var dr2 DeployResponse
+	if err := json.Unmarshal(body, &dr2); err != nil {
+		t.Fatal(err)
+	}
+	if dr2.Shard != dr.Shard {
+		t.Fatalf("identical statement routed to shard %d then %d", dr.Shard, dr2.Shard)
+	}
+
+	code, body = get(t, fmt.Sprintf("%s/explain?id=%d", ts.URL, dr.ID))
+	if code != http.StatusOK || !strings.Contains(string(body), "level ") {
+		t.Fatalf("explain: %d %.200s", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["serving.deploys"] != 2 {
+		t.Fatalf("serving.deploys = %d, want 2", snap.Counters["serving.deploys"])
+	}
+
+	if code, _ = get(t, ts.URL+"/snapshot"); code != http.StatusOK {
+		t.Fatalf("snapshot: %d", code)
+	}
+	if code, _ = get(t, fmt.Sprintf("%s/snapshot?shard=%d", ts.URL, dr.Shard)); code != http.StatusOK {
+		t.Fatalf("snapshot?shard: %d", code)
+	}
+	code, body = get(t, fmt.Sprintf("%s/flight?shard=%d", ts.URL, dr.Shard))
+	if code != http.StatusOK || !strings.Contains(string(body), "plan_chosen") {
+		t.Fatalf("flight: %d %.200s", code, body)
+	}
+
+	for _, id := range []int64{dr.ID, dr2.ID} {
+		code, body = postJSON(t, fmt.Sprintf("%s/undeploy?id=%d", ts.URL, id), nil)
+		if code != http.StatusOK {
+			t.Fatalf("undeploy %d: %d %s", id, code, body)
+		}
+	}
+	// Retracting both deployments must drain the shard's load ledger.
+	sys := s.Shard(dr.Shard)
+	for v := 0; v < testConfig().Nodes; v++ {
+		if l := sys.NodeLoad(hnp.NodeID(v)); l > 1e-9 {
+			t.Fatalf("node %d still carries load %g after undeploy", v, l)
+		}
+	}
+	if st := s.Stats(); st.Outstanding != 0 || st.Undeploys != 2 {
+		t.Fatalf("stats after teardown: %+v", st)
+	}
+
+	// The handle is gone: explain and a second undeploy both 404.
+	if code, _ = get(t, fmt.Sprintf("%s/explain?id=%d", ts.URL, dr.ID)); code != http.StatusNotFound {
+		t.Fatalf("explain after undeploy: %d, want 404", code)
+	}
+	if code, _ = postJSON(t, fmt.Sprintf("%s/undeploy?id=%d", ts.URL, dr.ID), nil); code != http.StatusNotFound {
+		t.Fatalf("double undeploy: %d, want 404", code)
+	}
+}
+
+// TestServeUndeployBody exercises the JSON-body form of undeploy.
+func TestServeUndeployBody(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	code, body := postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: testStmt})
+	if code != http.StatusOK {
+		t.Fatalf("deploy: %d %s", code, body)
+	}
+	var dr DeployResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if code, body = postJSON(t, ts.URL+"/undeploy", UndeployRequest{ID: dr.ID}); code != http.StatusOK {
+		t.Fatalf("undeploy by body: %d %s", code, body)
+	}
+}
+
+// TestServeErrorPaths covers the wire-level failure modes: malformed
+// CQL, catalog misses, broken JSON, non-UTF-8 statements, oversized
+// bodies, bad parameters and unknown shards.
+func TestServeErrorPaths(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	cases := []struct {
+		name string
+		do   func() (int, []byte)
+		want int
+	}{
+		{"malformed cql", func() (int, []byte) {
+			return postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: "SELECT FROM WHERE"})
+		}, http.StatusBadRequest},
+		{"unknown stream", func() (int, []byte) {
+			return postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: "SELECT * FROM nosuch, stream-1"})
+		}, http.StatusBadRequest},
+		{"broken json", func() (int, []byte) {
+			return postJSON(t, ts.URL+"/deploy", []byte(`{"cql": "SELECT`))
+		}, http.StatusBadRequest},
+		{"empty statement", func() (int, []byte) {
+			return postJSON(t, ts.URL+"/deploy", DeployRequest{})
+		}, http.StatusBadRequest},
+		{"non-utf8 statement", func() (int, []byte) {
+			return postJSON(t, ts.URL+"/deploy", []byte("{\"cql\": \"SELECT \\ufffd\xff * FROM\"}"))
+		}, http.StatusBadRequest},
+		{"oversized body", func() (int, []byte) {
+			huge := `{"cql": "SELECT * FROM ` + strings.Repeat("x", int(testConfig().MaxBody)) + `"}`
+			return postJSON(t, ts.URL+"/deploy", []byte(huge))
+		}, http.StatusRequestEntityTooLarge},
+		{"bad sink", func() (int, []byte) {
+			return postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: testStmt, Sink: 4096})
+		}, http.StatusBadRequest},
+		{"bad algo", func() (int, []byte) {
+			return postJSON(t, ts.URL+"/deploy", DeployRequest{CQL: testStmt, Algo: "quantum"})
+		}, http.StatusBadRequest},
+		{"get deploy", func() (int, []byte) { return get(t, ts.URL+"/deploy") }, http.StatusMethodNotAllowed},
+		{"explain without id", func() (int, []byte) { return get(t, ts.URL+"/explain") }, http.StatusBadRequest},
+		{"undeploy bad id", func() (int, []byte) {
+			return postJSON(t, ts.URL+"/undeploy?id=banana", nil)
+		}, http.StatusBadRequest},
+		{"unknown shard snapshot", func() (int, []byte) { return get(t, ts.URL+"/snapshot?shard=99") }, http.StatusBadRequest},
+		{"unknown shard flight", func() (int, []byte) { return get(t, ts.URL+"/flight?shard=-1") }, http.StatusBadRequest},
+		{"non-numeric shard", func() (int, []byte) { return get(t, ts.URL+"/snapshot?shard=zero") }, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, body := tc.do()
+		if code != tc.want {
+			t.Errorf("%s: got %d (%.200s), want %d", tc.name, code, body, tc.want)
+			continue
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %.200q is not an ErrorResponse", tc.name, body)
+		}
+	}
+	if st := s.Stats(); st.Deploys != 0 || st.Outstanding != 0 {
+		t.Fatalf("error paths leaked deployments: %+v", st)
+	}
+}
+
+// TestServeRaceHammer runs concurrent clients through the full lifecycle
+// against one server — the suite CI runs under -race. Every client mixes
+// deploys, explains, undeploys and read-only surfaces.
+func TestServeRaceHammer(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	stmts := []string{
+		testStmt,
+		"SELECT * FROM stream-0, stream-2",
+		"SELECT * FROM stream-3, stream-5, stream-8",
+		"SELECT * FROM stream-6, stream-7 WHERE stream-6.v BETWEEN 0.1 AND 0.9",
+		"SELECT * FROM stream-9, stream-10 WINDOW 30 AGGREGATE COUNT",
+	}
+	const clients = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var ids []int64
+			for i := 0; i < iters; i++ {
+				stmt := stmts[(c+i)%len(stmts)]
+				code, body := postJSON(t, ts.URL+"/deploy", DeployRequest{
+					CQL: stmt, Sink: (c*7 + i) % testConfig().Nodes, Tenant: fmt.Sprintf("t%d", c%3),
+				})
+				if code != http.StatusOK {
+					t.Errorf("client %d deploy: %d %.200s", c, code, body)
+					return
+				}
+				var dr DeployResponse
+				if err := json.Unmarshal(body, &dr); err != nil {
+					t.Error(err)
+					return
+				}
+				ids = append(ids, dr.ID)
+				switch i % 4 {
+				case 0:
+					get(t, fmt.Sprintf("%s/explain?id=%d", ts.URL, dr.ID))
+				case 1:
+					get(t, ts.URL+"/metrics")
+				case 2:
+					get(t, ts.URL+"/snapshot")
+				}
+				if len(ids) > 3 {
+					id := ids[0]
+					ids = ids[1:]
+					if code, body := postJSON(t, fmt.Sprintf("%s/undeploy?id=%d", ts.URL, id), nil); code != http.StatusOK {
+						t.Errorf("client %d undeploy: %d %.200s", c, code, body)
+						return
+					}
+				}
+			}
+			for _, id := range ids {
+				postJSON(t, fmt.Sprintf("%s/undeploy?id=%d", ts.URL, id), nil)
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Deploys != clients*iters {
+		t.Fatalf("deploys = %d, want %d", st.Deploys, clients*iters)
+	}
+	if st.Outstanding != 0 || st.Deploys != st.Undeploys {
+		t.Fatalf("lifecycle accounting off after hammer: %+v", st)
+	}
+}
+
+// TestServeShardRouting pins routing invariants: stable, in range, and
+// actually spreading distinct statements across shards.
+func TestServeShardRouting(t *testing.T) {
+	s, _ := newTestServer(t, testConfig())
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		stmt := fmt.Sprintf("SELECT * FROM stream-%d, stream-%d", i%12, (i+1)%12)
+		a := s.ShardFor("t", stmt)
+		if a != s.ShardFor("t", stmt) {
+			t.Fatal("routing is not stable")
+		}
+		if a < 0 || a >= s.NumShards() {
+			t.Fatalf("shard %d out of range", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 distinct statements all landed on one shard")
+	}
+}

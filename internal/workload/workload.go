@@ -45,12 +45,52 @@ type Workload struct {
 	Streams []query.StreamID
 }
 
+// StreamSpec describes one synthesized base stream: CatalogSpec's output,
+// ready to register into any catalog (query.Catalog.Add or
+// hnp.System.AddStream).
+type StreamSpec struct {
+	Name   string
+	Rate   float64
+	Source netgraph.NodeID
+}
+
+// SelSpec is one synthesized pairwise selectivity, by stream index into
+// the corresponding StreamSpec slice.
+type SelSpec struct {
+	I, J int
+	Sel  float64
+}
+
+// CatalogSpec draws the stream catalog of a workload — names, rates,
+// source placements and pairwise selectivities — without binding it to a
+// concrete catalog object, so library users (Generate) and the serving
+// layer (smqd shards, which must all build the identical catalog from one
+// seed) share one definition. Identical seeds give identical specs; the
+// rng consumption order is part of the contract, since Generate continues
+// drawing queries from the same rng.
+func CatalogSpec(cfg Config, n int, rng *rand.Rand) ([]StreamSpec, []SelSpec, error) {
+	if cfg.Streams < 1 || n < 1 {
+		return nil, nil, fmt.Errorf("workload: need at least one stream and one node")
+	}
+	streams := make([]StreamSpec, cfg.Streams)
+	for i := range streams {
+		rate := cfg.RateLo + rng.Float64()*(cfg.RateHi-cfg.RateLo)
+		src := netgraph.NodeID(rng.Intn(n))
+		streams[i] = StreamSpec{Name: fmt.Sprintf("stream-%d", i), Rate: rate, Source: src}
+	}
+	var sels []SelSpec
+	for i := 0; i < cfg.Streams; i++ {
+		for j := i + 1; j < cfg.Streams; j++ {
+			sel := cfg.SelLo + rng.Float64()*(cfg.SelHi-cfg.SelLo)
+			sels = append(sels, SelSpec{I: i, J: j, Sel: sel})
+		}
+	}
+	return streams, sels, nil
+}
+
 // Generate draws a workload for a network with n nodes. Identical seeds
 // give identical workloads.
 func Generate(cfg Config, n int, rng *rand.Rand) (*Workload, error) {
-	if cfg.Streams < 1 || n < 1 {
-		return nil, fmt.Errorf("workload: need at least one stream and one node")
-	}
 	if cfg.MinSources < 1 || cfg.MaxSources < cfg.MinSources {
 		return nil, fmt.Errorf("workload: bad source bounds [%d,%d]", cfg.MinSources, cfg.MaxSources)
 	}
@@ -61,18 +101,17 @@ func Generate(cfg Config, n int, rng *rand.Rand) (*Workload, error) {
 	if cfg.MaxSources > query.MaxSources {
 		return nil, fmt.Errorf("workload: MaxSources %d exceeds limit %d", cfg.MaxSources, query.MaxSources)
 	}
+	specs, sels, err := CatalogSpec(cfg, n, rng)
+	if err != nil {
+		return nil, err
+	}
 	cat := query.NewCatalog((cfg.SelLo + cfg.SelHi) / 2)
 	w := &Workload{Catalog: cat}
-	for i := 0; i < cfg.Streams; i++ {
-		rate := cfg.RateLo + rng.Float64()*(cfg.RateHi-cfg.RateLo)
-		src := netgraph.NodeID(rng.Intn(n))
-		w.Streams = append(w.Streams, cat.Add(fmt.Sprintf("stream-%d", i), rate, src))
+	for _, sp := range specs {
+		w.Streams = append(w.Streams, cat.Add(sp.Name, sp.Rate, sp.Source))
 	}
-	for i := 0; i < cfg.Streams; i++ {
-		for j := i + 1; j < cfg.Streams; j++ {
-			sel := cfg.SelLo + rng.Float64()*(cfg.SelHi-cfg.SelLo)
-			cat.SetSelectivity(w.Streams[i], w.Streams[j], sel)
-		}
+	for _, s := range sels {
+		cat.SetSelectivity(w.Streams[s.I], w.Streams[s.J], s.Sel)
 	}
 	for qi := 0; qi < cfg.Queries; qi++ {
 		k := cfg.MinSources
