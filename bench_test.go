@@ -9,12 +9,14 @@ import (
 	"hnp/internal/baseline"
 	"hnp/internal/chaos"
 	"hnp/internal/core"
+	"hnp/internal/cql"
 	"hnp/internal/exp"
 	"hnp/internal/hierarchy"
 	"hnp/internal/iflow"
 	"hnp/internal/netgraph"
 	"hnp/internal/obs"
 	"hnp/internal/query"
+	"hnp/internal/query/rewrite"
 	"hnp/internal/workload"
 )
 
@@ -862,4 +864,35 @@ func BenchmarkBatchOptimization(b *testing.B) {
 		total += batch.TotalCost
 	}
 	b.ReportMetric(total/float64(b.N), "cost/batch")
+}
+
+// BenchmarkRewritePipeline measures the logical optimizer pipeline alone
+// — constant folding, predicate pushdown and column pruning, statements
+// pre-parsed — over the figure-workload statement grid. benchjson's
+// RewritePushdown entry measures the same statements end to end
+// (parse + rewrite + plan) and records the planned-bytes fraction.
+func BenchmarkRewritePipeline(b *testing.B) {
+	sys, sink := newSchemaSystem(b)
+	var sts []*cql.Statement
+	for _, s := range pushdownStatements {
+		st, err := cql.Parse(sys.Catalog, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sts = append(sts, st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range sts {
+			q, err := st.Query(i, sink)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := rewrite.Apply(sys.Catalog, q, st.Pushdown())
+			if out.BytesAfter > out.BytesBefore {
+				b.Fatal("bytes grew")
+			}
+		}
+	}
 }

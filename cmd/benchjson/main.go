@@ -160,6 +160,47 @@ func driftLink(g *netgraph.Graph) (netgraph.Link, float64) {
 // reach steady-state capacity before the timer starts.
 const driftWarmup = 2048
 
+// rewriteWorkload is the figure workload with attribute schemas declared:
+// three 100-byte streams whose wide blob columns (MANIFEST, RADAR,
+// PASSENGER) the optimizer pipeline prunes, plus the selective/projecting
+// statement grid planned against them (mirrors the root pushdown tests).
+func rewriteWorkload() (*hnp.System, hnp.NodeID, []string) {
+	g := hnp.TransitStubNetwork(64, 3)
+	sys, err := hnp.NewSystem(g, 8, 3)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fl := sys.AddStream("FLIGHTS", 40, 17)
+	we := sys.AddStream("WEATHER", 25, 41)
+	ck := sys.AddStream("CHECKINS", 30, 55)
+	sys.SetSelectivity(fl, we, 0.01)
+	sys.SetSelectivity(fl, ck, 0.02)
+	sys.SetSelectivity(we, ck, 0.005)
+	sys.SetSchema(fl, hnp.Schema{
+		{Name: "num", Width: 8}, {Name: "status", Width: 16},
+		{Name: "origin", Width: 12}, {Name: "manifest", Width: 64},
+	})
+	sys.SetSchema(we, hnp.Schema{
+		{Name: "city", Width: 8}, {Name: "temp", Width: 8}, {Name: "radar", Width: 84},
+	})
+	sys.SetSchema(ck, hnp.Schema{
+		{Name: "flight", Width: 8}, {Name: "status", Width: 16}, {Name: "passenger", Width: 76},
+	})
+	stmts := []string{
+		`SELECT FLIGHTS.STATUS, WEATHER.TEMP FROM FLIGHTS, WEATHER
+		 WHERE FLIGHTS.NUM = WEATHER.CITY AND FLIGHTS.STATUS > 0.8`,
+		`SELECT FLIGHTS.NUM, CHECKINS.STATUS FROM FLIGHTS, WEATHER, CHECKINS
+		 WHERE FLIGHTS.NUM = WEATHER.CITY AND FLIGHTS.NUM = CHECKINS.FLIGHT
+		   AND CHECKINS.STATUS < 0.4`,
+		`SELECT WEATHER.TEMP FROM FLIGHTS, WEATHER
+		 WHERE FLIGHTS.NUM = WEATHER.CITY`,
+		`SELECT * FROM FLIGHTS, WEATHER
+		 WHERE FLIGHTS.NUM = WEATHER.CITY AND FLIGHTS.STATUS > 0.9`,
+	}
+	return sys, 9, stmts
+}
+
 // measure runs fn under testing.Benchmark and records it. plansPerOp, when
 // non-zero, is the number of plan candidates one op examines.
 func measure(out *[]benchfmt.Result, name string, plansPerOp float64, fn func(b *testing.B)) {
@@ -393,6 +434,44 @@ func main() {
 		if last.NsPerOp > 0 {
 			last.PlansPerSec = plansPerOp / (float64(last.NsPerOp) / 1e9)
 		}
+	}
+
+	// RewritePushdown: the figure workload's CQL statements end to end —
+	// parse, logical optimizer pipeline (constant folding, predicate
+	// pushdown, column pruning) and Top-Down planning over schema-bearing
+	// 100-byte streams. rewrite_bytes_frac records the planned
+	// bytes-on-wire of these statements relative to planning them with
+	// the pipeline killed (seed-pinned; below 1.0 means pushdown wins).
+	{
+		sys, sink, stmts := rewriteWorkload()
+		planAll := func() float64 {
+			total := 0.0
+			for _, s := range stmts {
+				d, err := sys.PlanCQL(s, sink, hnp.AlgoTopDown)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+					os.Exit(1)
+				}
+				total += d.Plan.PlannedBytes(sink)
+			}
+			return total
+		}
+		measure(&traj.Benchmarks, "RewritePushdown", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				planAll()
+			}
+		})
+		onBytes := planAll()
+		hnp.SetPushdown(false)
+		offBytes := planAll()
+		hnp.SetPushdown(true)
+		last := &traj.Benchmarks[len(traj.Benchmarks)-1]
+		if offBytes > 0 {
+			last.RewriteBytesFrac = onBytes / offBytes
+		}
+		fmt.Fprintf(os.Stderr, "%-12s planned bytes on/off = %.4g/%.4g (frac %.3f)\n",
+			"", onBytes, offBytes, last.RewriteBytesFrac)
 	}
 
 	// MigrateDelta vs MigrateTeardown: replacing a running K=6 plan after

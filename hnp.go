@@ -37,6 +37,7 @@ import (
 	"hnp/internal/netgraph"
 	"hnp/internal/obs"
 	"hnp/internal/query"
+	"hnp/internal/query/rewrite"
 )
 
 // Re-exported substrate types. Aliases keep one set of method sets and let
@@ -70,6 +71,16 @@ type (
 	PredSet = query.PredSet
 	// AggSpec describes a windowed aggregation over a query's result.
 	AggSpec = query.AggSpec
+	// Attr is one attribute of a stream schema: a name and its byte width.
+	Attr = query.Attr
+	// Schema is the ordered attribute list of a base stream; declaring one
+	// makes the planners price every edge at rate×width and lets the
+	// rewrite pipeline prune unreferenced columns.
+	Schema = query.Schema
+	// RewriteOutcome is the audit of the logical optimizer pipeline's run
+	// over one query: rules applied, per-rule trace, planned bytes
+	// before/after pushdown.
+	RewriteOutcome = rewrite.Outcome
 	// Snapshot is a point-in-time copy of a system's telemetry (see
 	// System.Snapshot); counters, gauges and histogram summaries detached
 	// from the live metrics.
@@ -266,10 +277,30 @@ func (s *System) SetSelectivity(a, b StreamID, sel float64) {
 	s.Catalog.SetSelectivity(a, b, sel)
 }
 
+// SetSchema declares a stream's attribute schema. With schemas declared,
+// planners cost every edge at rate×width instead of rate alone, and CQL
+// projections prune columns no operator references (shrinking per-edge
+// tuple widths). Setup-phase API, like AddStream: declare schemas before
+// planning or deploying.
+func (s *System) SetSchema(id StreamID, schema Schema) {
+	s.Catalog.SetSchema(id, schema)
+}
+
+// SetPushdown toggles the logical optimizer pipeline (predicate pushdown,
+// column pruning, constant folding) globally — the A/B kill switch.
+// Default on. Schema widths continue to apply either way; only the
+// rewrites stop.
+func SetPushdown(enabled bool) { rewrite.SetPushdown(enabled) }
+
 // Deployment is the outcome of deploying one query.
 type Deployment struct {
 	Query *Query
 	Result
+	// Rewrite is the logical optimizer pipeline's audit for CQL-planned
+	// queries (nil when the pipeline is disabled or the query was built
+	// programmatically). When Rewrite.NoOp is set the query is provably
+	// empty: Plan is nil and nothing was deployed.
+	Rewrite *RewriteOutcome
 }
 
 // Plan plans a query without deploying it (no advertisements recorded):
@@ -345,6 +376,11 @@ func (s *System) DeployCQL(stmt string, sink NodeID, algo Algorithm) (Deployment
 	if err != nil {
 		return Deployment{}, err
 	}
+	if d.Plan == nil {
+		// Provably-empty query (contradictory WHERE folded to a no-op):
+		// nothing to advertise, load, or run.
+		return d, nil
+	}
 	s.deployRecord(d.Query, d.Result)
 	return d, nil
 }
@@ -360,11 +396,38 @@ func (s *System) PlanCQL(stmt string, sink NodeID, algo Algorithm) (Deployment, 
 	if err != nil {
 		return Deployment{}, err
 	}
+	if st.Contradiction && !rewrite.Enabled() {
+		// With the pipeline killed there is no constant folding to turn a
+		// provably-empty WHERE into a no-op plan; restore the pre-pipeline
+		// behavior of rejecting the statement rather than silently planning
+		// an unfiltered query.
+		return Deployment{}, fmt.Errorf("cql: %w", query.ErrContradiction)
+	}
+	var rw *RewriteOutcome
+	if rewrite.Enabled() {
+		out := rewrite.Apply(s.Catalog, q, st.Pushdown())
+		rw = &out
+		if obs.On() {
+			s.Obs.Counter("rewrite.rules_applied").Add(int64(out.RulesApplied))
+			s.Obs.Gauge("rewrite.bytes_saved").Add(out.BytesSaved())
+		}
+		if tr := s.Obs.Tracer(); tr.On() && out.RulesApplied > 0 {
+			tr.Emit(obs.Event{
+				Kind: obs.KindRewriteApplied, Trace: obs.QueryTrace(q.ID),
+				Query: q.ID, Node: obs.NoID,
+				Value: out.BytesSaved(), Aux: float64(out.RulesApplied),
+				Detail: out.TraceString(),
+			})
+		}
+		if out.NoOp {
+			return Deployment{Query: q, Rewrite: rw}, nil
+		}
+	}
 	res, err := s.run(q, algo)
 	if err != nil {
 		return Deployment{}, err
 	}
-	return Deployment{Query: q, Result: res}, nil
+	return Deployment{Query: q, Result: res, Rewrite: rw}, nil
 }
 
 // DeployAggregate deploys a query whose join result is reduced by a

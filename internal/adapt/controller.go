@@ -577,11 +577,15 @@ func CostWith(plan *query.PlanNode, rates query.RateTable, dist query.DistFunc, 
 // are gated on, because the controller is validated against exactly this
 // runtime counter.
 func BytesWith(plan *query.PlanNode, rate func(*query.PlanNode) float64, tupleSize float64, sink netgraph.NodeID) float64 {
-	cross := func(rate float64, from, to netgraph.NodeID) float64 {
-		if from == to {
+	cross := func(n *query.PlanNode, to netgraph.NodeID) float64 {
+		if n.Loc == to {
 			return 0
 		}
-		return rate * tupleSize
+		w := n.Width
+		if w == 0 {
+			w = tupleSize
+		}
+		return rate(n) * w
 	}
 	var walk func(n *query.PlanNode) float64
 	walk = func(n *query.PlanNode) float64 {
@@ -589,13 +593,13 @@ func BytesWith(plan *query.PlanNode, rate func(*query.PlanNode) float64, tupleSi
 			return 0
 		}
 		if n.IsUnary() {
-			return walk(n.L) + cross(rate(n.L), n.L.Loc, n.Loc)
+			return walk(n.L) + cross(n.L, n.Loc)
 		}
 		return walk(n.L) + walk(n.R) +
-			cross(rate(n.L), n.L.Loc, n.Loc) +
-			cross(rate(n.R), n.R.Loc, n.Loc)
+			cross(n.L, n.Loc) +
+			cross(n.R, n.Loc)
 	}
-	return walk(plan) + cross(rate(plan), plan.Loc, sink)
+	return walk(plan) + cross(plan, sink)
 }
 
 // marginalGain predicts the change in the runtime's transport byte rate
@@ -624,27 +628,35 @@ func BytesWith(plan *query.PlanNode, rate func(*query.PlanNode) float64, tupleSi
 func (c *Controller) marginalGain(q *query.Query, old, fresh *query.PlanNode, est func(*query.PlanNode) float64, tupleSize float64) float64 {
 	oldIR, newIR := q.IR(old), q.IR(fresh)
 	rate := make(map[query.OpRef]float64, len(oldIR)+len(newIR))
+	width := make(map[query.OpRef]float64, len(oldIR)+len(newIR))
 	oldByRef := make(map[query.OpRef]query.IROp, len(oldIR))
 	holds := make(map[query.OpRef]int, len(oldIR))
+	note := func(op query.IROp) {
+		if _, ok := rate[op.Ref]; ok {
+			return
+		}
+		rate[op.Ref] = est(op.Node)
+		if w := op.Node.Width; w > 0 {
+			width[op.Ref] = w
+		} else {
+			width[op.Ref] = tupleSize
+		}
+	}
 	for _, op := range oldIR {
 		oldByRef[op.Ref] = op
 		holds[op.Ref]++
-		if _, ok := rate[op.Ref]; !ok {
-			rate[op.Ref] = est(op.Node)
-		}
+		note(op)
 	}
 	newByRef := make(map[query.OpRef]query.IROp, len(newIR))
 	for _, op := range newIR {
 		newByRef[op.Ref] = op
-		if _, ok := rate[op.Ref]; !ok {
-			rate[op.Ref] = est(op.Node)
-		}
+		note(op)
 	}
 	cross := func(in query.OpRef, at netgraph.NodeID) float64 {
 		if in.Loc == at {
 			return 0
 		}
-		return rate[in] * tupleSize
+		return rate[in] * width[in]
 	}
 	// Collection cascades top-down: an operator is only collected when
 	// nothing subscribes to it, and its old-plan consumer's subscription

@@ -32,6 +32,12 @@ type Ad struct {
 	// under; a stricter query can reuse the stream through a residual
 	// filter (query containment).
 	Preds query.PredSet
+	// ProjSig is the projection fragment of the advertising query over the
+	// covered streams ("" when full tuples are shipped). Reuse requires an
+	// exact match: a column-pruned stream cannot feed a query that needs
+	// the dropped columns, and a full-width stream must not be conflated
+	// with a pruned one when pricing reuse.
+	ProjSig string
 }
 
 // Registry indexes advertisements by signature. The zero value is not
@@ -195,6 +201,9 @@ func (r *Registry) InputsFor(q *query.Query, rt query.RateTable, within func(net
 		if !ad.Preds.Contains(need) {
 			continue
 		}
+		if ad.ProjSig != q.ProjSigOf(mask) {
+			continue
+		}
 		in := query.Input{
 			Mask:    mask,
 			Rate:    rt.Rate(mask),
@@ -232,6 +241,7 @@ func (r *Registry) AdvertisePlan(q *query.Query, root *query.PlanNode) int {
 			Rate:    op.Rate,
 			QueryID: q.ID,
 			Preds:   q.Preds.Restrict(streams),
+			ProjSig: q.ProjSigOf(op.Mask),
 		}
 		if r.Advertise(ad) {
 			added++

@@ -28,6 +28,14 @@ func PlanThenDeploy(g *netgraph.Graph, paths *netgraph.Paths, cat *query.Catalog
 	if err := placed.Validate(); err != nil {
 		return core.Result{}, fmt.Errorf("plan-then-deploy: invalid plan: %w", err)
 	}
+	// The phased planner searches placements width-blind (its point is to
+	// be the conventional baseline), but its plans still execute and are
+	// costed under the schema width model so comparisons stay apples to
+	// apples.
+	if wt := query.BuildWidths(cat, q); wt != nil {
+		wt.Stamp(placed)
+		cost = placed.Cost(paths.Dist, q.Sink)
+	}
 	// The phased search considers one tree but all placements of it:
 	// N^(K-1) deployments.
 	considered := 1.0
@@ -62,6 +70,7 @@ func RandomPlacement(g *netgraph.Graph, paths *netgraph.Paths, cat *query.Catalo
 			netgraph.NodeID(pick(g.NumNodes())), n.Rate)
 	}
 	placed := place(tree)
+	query.BuildWidths(cat, q).Stamp(placed)
 	return core.Result{
 		Plan:            placed,
 		Cost:            placed.Cost(paths.Dist, q.Sink),

@@ -48,6 +48,12 @@ type Result struct {
 	// hardware-independent: a ratio regression is real on any machine.
 	BytesVsNever  float64 `json:"bytes_vs_never,omitempty"`
 	BytesVsAlways float64 `json:"bytes_vs_always,omitempty"`
+	// RewriteBytesFrac is the figure workload's planned bytes-on-wire
+	// with the logical optimizer pipeline on, as a fraction of the same
+	// statements planned with the pipeline killed (below 1.0 means
+	// pushdown wins; 0 where the notion doesn't apply). Seed-pinned and
+	// hardware-independent, like the ratios above.
+	RewriteBytesFrac float64 `json:"rewrite_bytes_frac,omitempty"`
 
 	// Serving-harness figures (cmd/smqbench / benchjson -serving; 0 where
 	// the notion doesn't apply). For serving entries NsPerOp carries the

@@ -33,6 +33,7 @@ import (
 	"hnp/internal/netgraph"
 	"hnp/internal/obs"
 	"hnp/internal/query"
+	"hnp/internal/query/rewrite"
 	"hnp/internal/workload"
 )
 
@@ -68,6 +69,14 @@ type Config struct {
 	// plan applied as a diff-based migration (iflow.Migrate) rather than a
 	// teardown. Off by default so existing seeds replay unchanged.
 	Migrate bool
+	// Schemas attaches a synthetic per-attribute schema to every catalog
+	// stream and runs the logical rewrite pipeline over the pool's
+	// predicate-bearing queries (column pruning keyed to the predicate
+	// attribute), so operators run at heterogeneous tuple widths and the
+	// width-bracket transport invariants are exercised. The pruning step
+	// honors the global pushdown kill switch; the schemas themselves do
+	// not. Off by default so existing seeds replay unchanged.
+	Schemas bool
 	// Profile selects the event mix: "" is the default fault/churn
 	// schedule; ProfileRateShift is the adaptive-control stress schedule.
 	Profile string
@@ -295,6 +304,18 @@ func New(cfg Config) (*World, error) {
 	for i := range w.live {
 		w.live[i] = true
 	}
+	if cfg.Schemas {
+		// Schema widths come from a dedicated rng so Schemas=false runs
+		// replay byte-identically to pre-schema seeds.
+		srng := rand.New(rand.NewSource(cfg.Seed ^ 0x5c4e3a))
+		for i := 0; i < wl.Catalog.NumStreams(); i++ {
+			wl.Catalog.SetSchema(query.StreamID(i), query.Schema{
+				{Name: "a", Width: 4 + float64(srng.Intn(13))},
+				{Name: "b", Width: 8 + float64(srng.Intn(25))},
+				{Name: "c", Width: 16 + float64(srng.Intn(97))},
+			})
+		}
+	}
 	// Canonical nested ranges: stricter queries arriving after weaker (or
 	// predicate-free) ones over the same streams reuse their operators
 	// through residual filters.
@@ -308,6 +329,22 @@ func New(cfg Config) (*World, error) {
 				return nil, err
 			}
 			q = pq
+			if cfg.Schemas && rewrite.Enabled() {
+				// Pred queries select only the predicate attribute: column
+				// pruning shrinks every source's shipped width, so the run
+				// mixes pruned and full-width operators. The projection is
+				// fixed (not rng-drawn) to keep the A/B schedule identical
+				// with the pipeline on and off.
+				proj := rewrite.Projection{
+					Cols:      map[query.StreamID][]string{},
+					JoinAttrs: map[query.StreamID][]string{},
+				}
+				for _, sid := range q.Sources {
+					proj.Cols[sid] = []string{"a"}
+					proj.JoinAttrs[sid] = []string{"a"}
+				}
+				rewrite.Apply(wl.Catalog, q, proj)
+			}
 		}
 		w.pool = append(w.pool, q)
 		w.qByID[q.ID] = q

@@ -19,8 +19,9 @@ func AttachAggregate(q *query.Query, plan *query.PlanNode, sites []netgraph.Node
 		return plan
 	}
 	best, bestCost := plan.Loc, math.Inf(1)
+	w := plan.WidthOr1()
 	consider := func(v netgraph.NodeID) {
-		c := plan.Rate*dist(plan.Loc, v) + q.Agg.OutRate*dist(v, q.Sink)
+		c := plan.Rate*w*dist(plan.Loc, v) + q.Agg.OutRate*w*dist(v, q.Sink)
 		if penalty != nil {
 			c += penalty(v, plan.Rate)
 		}
@@ -32,5 +33,7 @@ func AttachAggregate(q *query.Query, plan *query.PlanNode, sites []netgraph.Node
 	for _, v := range sites {
 		consider(v)
 	}
-	return query.NewUnary(plan, query.UnarySpec{Agg: *q.Agg, Sig: q.AggSig()}, best, q.Agg.OutRate)
+	un := query.NewUnary(plan, query.UnarySpec{Agg: *q.Agg, Sig: q.AggSig()}, best, q.Agg.OutRate)
+	un.Width = plan.Width
+	return un
 }

@@ -36,6 +36,7 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 	started := emitPlanStarted(opts, q, "bottomup")
 	po := newPlannerObs(opts.Obs, "bottomup")
 	rt := query.BuildRates(cat, q)
+	wt := query.BuildWidths(cat, q)
 	full := q.All()
 	pending := BaseInputs(cat, q, rt)
 	assembled := map[query.Mask]*query.PlanNode{}
@@ -107,7 +108,7 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 		// re-enumeration, which is what keeps Bottom-Up's search space and
 		// deployment time small.
 		plan, cost0, err := Solve(Problem{
-			Inputs: inputs, Sites: c.Members, Dist: h.Paths().Dist, Rates: rt,
+			Inputs: inputs, Sites: c.Members, Dist: h.Paths().Dist, Rates: rt, Widths: wt,
 			Goal: goal, Sink: q.Sink, Deliver: true, Penalty: opts.Penalty,
 		})
 		if err != nil {
@@ -145,9 +146,13 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 				return Result{}, fmt.Errorf("bottom-up: pending input %b straddles goal %b", in.Mask, goal)
 			}
 		}
-		next = append(next, query.Input{
+		joined := query.Input{
 			Mask: goal, Rate: rt.Rate(goal), Loc: plan.Loc, Sig: q.SigOf(goal),
-		})
+		}
+		if wt != nil {
+			joined.Width = wt.Width(goal)
+		}
+		next = append(next, joined)
 		pending = next
 	}
 
@@ -159,6 +164,7 @@ func BottomUpOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, re
 		final = query.Leaf(pending[0])
 	}
 	final = AttachAggregate(q, final, h.Cover(h.Top()), h.Paths().Dist, opts.Penalty)
+	wt.Stamp(final)
 	if err := final.Validate(); err != nil {
 		return Result{}, fmt.Errorf("bottom-up: invalid plan: %w", err)
 	}
@@ -202,7 +208,9 @@ func refinePlacements(h *hierarchy.Hierarchy, c *hierarchy.Cluster, plan *query.
 		sweep(n.L, n.Loc)
 		sweep(n.R, n.Loc)
 		objective := func(v netgraph.NodeID) float64 {
-			c := n.L.Rate*dist(n.L.Loc, v) + n.R.Rate*dist(n.R.Loc, v) + n.Rate*dist(v, consumer)
+			c := n.L.Rate*n.L.WidthOr1()*dist(n.L.Loc, v) +
+				n.R.Rate*n.R.WidthOr1()*dist(n.R.Loc, v) +
+				n.Rate*n.WidthOr1()*dist(v, consumer)
 			if penalty != nil {
 				c += penalty(v, n.L.Rate+n.R.Rate)
 			}

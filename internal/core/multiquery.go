@@ -177,7 +177,7 @@ func BatchCost(dist query.DistFunc, qs []*query.Query,
 					seen[id] = true
 					usedBy[id]++
 				}
-				edges[edge{l, n.Loc}] = n.L.Rate * dist(n.L.Loc, n.Loc)
+				edges[edge{l, n.Loc}] = n.L.Rate * n.L.WidthOr1() * dist(n.L.Loc, n.Loc)
 				return id
 			}
 			l := walk(n.L)
@@ -187,14 +187,14 @@ func BatchCost(dist query.DistFunc, qs []*query.Query,
 				seen[id] = true
 				usedBy[id]++
 			}
-			edges[edge{l, n.Loc}] = n.L.Rate * dist(n.L.Loc, n.Loc)
-			edges[edge{r, n.Loc}] = n.R.Rate * dist(n.R.Loc, n.Loc)
+			edges[edge{l, n.Loc}] = n.L.Rate * n.L.WidthOr1() * dist(n.L.Loc, n.Loc)
+			edges[edge{r, n.Loc}] = n.R.Rate * n.R.WidthOr1() * dist(n.R.Loc, n.Loc)
 			return id
 		}
 		root := walk(plan)
 		// Delivery is per query (each sink is a distinct consumer).
 		edges[edge{opIdent{sig: root.sig + "->" + fmt.Sprint(q.ID), node: root.node}, q.Sink}] =
-			plan.Rate * dist(plan.Loc, q.Sink)
+			plan.Rate * plan.WidthOr1() * dist(plan.Loc, q.Sink)
 	}
 
 	// Referential integrity for reused streams.

@@ -38,7 +38,7 @@ func NaiveSolve(p Problem) (*query.PlanNode, float64, int64, error) {
 		examined++
 		c := root.InternalCost(p.Dist)
 		if p.Deliver {
-			c += root.Rate * p.Dist(root.Loc, p.Sink)
+			c += root.Rate * root.WidthOr1() * p.Dist(root.Loc, p.Sink)
 		}
 		if p.Penalty != nil {
 			for _, op := range root.Operators() {
@@ -55,7 +55,7 @@ func NaiveSolve(p Problem) (*query.PlanNode, float64, int64, error) {
 	var covers func(remaining query.Mask)
 	covers = func(remaining query.Mask) {
 		if remaining == 0 {
-			forEachTree(chosen, sites, p.Rates, consider)
+			forEachTree(chosen, sites, p.Rates, p.Widths, consider)
 			return
 		}
 		low := remaining & -remaining
@@ -79,9 +79,12 @@ func NaiveSolve(p Problem) (*query.PlanNode, float64, int64, error) {
 // forEachTree enumerates every bushy join tree over the given inputs and
 // every placement of its operators on sites, invoking consider on each
 // fully-placed plan.
-func forEachTree(inputs []query.Input, sites []netgraph.NodeID, rates query.RateTable, consider func(*query.PlanNode)) {
+func forEachTree(inputs []query.Input, sites []netgraph.NodeID, rates query.RateTable, widths query.WidthTable, consider func(*query.PlanNode)) {
 	leaves := make([]*query.PlanNode, len(inputs))
 	for i, in := range inputs {
+		if in.Width == 0 && widths != nil {
+			in.Width = widths.Width(in.Mask)
+		}
 		leaves[i] = query.Leaf(in)
 	}
 	if len(leaves) == 1 {
@@ -90,7 +93,7 @@ func forEachTree(inputs []query.Input, sites []netgraph.NodeID, rates query.Rate
 	}
 	forEachShape(leaves, func(shape *treeShape) {
 		ops := shape.opCount()
-		placeOps(shape, sites, rates, make([]netgraph.NodeID, ops), 0, consider)
+		placeOps(shape, sites, rates, widths, make([]netgraph.NodeID, ops), 0, consider)
 	})
 }
 
@@ -139,27 +142,32 @@ func forEachShape(leaves []*query.PlanNode, yield func(*treeShape)) {
 }
 
 // placeOps enumerates site assignments for each operator of the shape.
-func placeOps(shape *treeShape, sites []netgraph.NodeID, rates query.RateTable, slots []netgraph.NodeID, idx int, consider func(*query.PlanNode)) {
+func placeOps(shape *treeShape, sites []netgraph.NodeID, rates query.RateTable, widths query.WidthTable, slots []netgraph.NodeID, idx int, consider func(*query.PlanNode)) {
 	if idx == len(slots) {
 		next := 0
-		consider(materialize(shape, rates, slots, &next))
+		consider(materialize(shape, rates, widths, slots, &next))
 		return
 	}
 	for _, s := range sites {
 		slots[idx] = s
-		placeOps(shape, sites, rates, slots, idx+1, consider)
+		placeOps(shape, sites, rates, widths, slots, idx+1, consider)
 	}
 }
 
 // materialize turns a shape plus operator placements (assigned in
-// post-order) into a PlanNode tree, with join rates from the rate table.
-func materialize(t *treeShape, rates query.RateTable, slots []netgraph.NodeID, next *int) *query.PlanNode {
+// post-order) into a PlanNode tree, with join rates from the rate table
+// and output widths from the width table (left unset for nil tables).
+func materialize(t *treeShape, rates query.RateTable, widths query.WidthTable, slots []netgraph.NodeID, next *int) *query.PlanNode {
 	if t.leaf != nil {
 		return t.leaf
 	}
-	l := materialize(t.l, rates, slots, next)
-	r := materialize(t.r, rates, slots, next)
+	l := materialize(t.l, rates, widths, slots, next)
+	r := materialize(t.r, rates, widths, slots, next)
 	loc := slots[*next]
 	*next++
-	return query.Join(l, r, loc, rates.Rate(l.Mask|r.Mask))
+	n := query.Join(l, r, loc, rates.Rate(l.Mask|r.Mask))
+	if widths != nil {
+		n.Width = widths.Width(n.Mask)
+	}
+	return n
 }

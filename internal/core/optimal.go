@@ -23,6 +23,7 @@ func Optimal(g *netgraph.Graph, paths *netgraph.Paths, cat *query.Catalog, q *qu
 // OptimalOpts is Optimal with explicit Options.
 func OptimalOpts(g *netgraph.Graph, paths *netgraph.Paths, cat *query.Catalog, q *query.Query, reg *ads.Registry, opts Options) (Result, error) {
 	rt := query.BuildRates(cat, q)
+	wt := query.BuildWidths(cat, q)
 	inputs := BaseInputs(cat, q, rt)
 	if reg != nil {
 		inputs = append(inputs, reg.InputsFor(q, rt, nil)...)
@@ -32,13 +33,14 @@ func OptimalOpts(g *netgraph.Graph, paths *netgraph.Paths, cat *query.Catalog, q
 		sites[i] = netgraph.NodeID(i)
 	}
 	plan, _, err := Solve(Problem{
-		Inputs: inputs, Sites: sites, Dist: paths.Dist, Rates: rt,
+		Inputs: inputs, Sites: sites, Dist: paths.Dist, Rates: rt, Widths: wt,
 		Goal: q.All(), Sink: q.Sink, Deliver: true, Penalty: opts.Penalty,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("optimal: %w", err)
 	}
 	plan = AttachAggregate(q, plan, sites, paths.Dist, opts.Penalty)
+	wt.Stamp(plan)
 	return Result{
 		Plan: plan,
 		// Cost reports communication cost only, like the other optimizers;

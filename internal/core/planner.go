@@ -31,6 +31,13 @@ type Problem struct {
 	Dist query.DistFunc
 	// Rates gives the expected output rate of every sub-join.
 	Rates query.RateTable
+	// Widths gives the byte width of every sub-join's output tuples; nil
+	// means no width information and every edge prices at rate×distance,
+	// the pre-schema model. With widths, every edge prices at
+	// rate×width×distance, so the search trades placements on actual
+	// bytes-on-wire. Load penalties stay on raw tuple rates (processing
+	// load tracks tuples, not bytes).
+	Widths query.WidthTable
 	// Goal is the set of source positions the plan must cover.
 	Goal query.Mask
 	// Sink receives the root output when Deliver is set; with Deliver
@@ -192,7 +199,7 @@ func (sc *solveScratch) solve(p Problem, buildPlan bool) (*query.PlanNode, float
 			if ins[i].Mask != s {
 				continue
 			}
-			rate := ins[i].Rate
+			rate := ins[i].Rate * inputWidth(&ins[i], p.Widths)
 			irow := sc.idist[i*m : i*m+m]
 			for v := range av {
 				if c := rate * irow[v]; c < av[v] {
@@ -226,7 +233,7 @@ func (sc *solveScratch) solve(p Problem, buildPlan bool) (*query.PlanNode, float
 				oc[v], os[v] = best, bestSplit
 			}
 			// Fold "operator at u, result shipped to v" into avail.
-			rate := p.Rates.Rate(s)
+			rate := p.Rates.Rate(s) * p.Widths.Width(s)
 			for u := 0; u < m; u++ {
 				ocu := oc[u]
 				if ocu == inf {
@@ -243,7 +250,7 @@ func (sc *solveScratch) solve(p Problem, buildPlan bool) (*query.PlanNode, float
 	}
 
 	// Choose the root realization.
-	rate := p.Rates.Rate(p.Goal)
+	rate := p.Rates.Rate(p.Goal) * p.Widths.Width(p.Goal)
 	best := inf
 	bestInput, bestSite := -1, -1
 	for i := range ins {
@@ -252,7 +259,7 @@ func (sc *solveScratch) solve(p Problem, buildPlan bool) (*query.PlanNode, float
 		}
 		c := 0.0
 		if p.Deliver {
-			c = ins[i].Rate * p.Dist(ins[i].Loc, p.Sink)
+			c = ins[i].Rate * inputWidth(&ins[i], p.Widths) * p.Dist(ins[i].Loc, p.Sink)
 		}
 		if c < best {
 			best, bestInput, bestSite = c, i, -1
@@ -281,14 +288,24 @@ func (sc *solveScratch) solve(p Problem, buildPlan bool) (*query.PlanNode, float
 		return nil, best, nil
 	}
 
-	r := rebuilder{rates: p.Rates, ins: ins, sites: sites, m: m, availCh: sc.availCh, opSplit: sc.opSplit}
+	r := rebuilder{rates: p.Rates, widths: p.Widths, ins: ins, sites: sites, m: m, availCh: sc.availCh, opSplit: sc.opSplit}
 	var root *query.PlanNode
 	if bestInput >= 0 {
-		root = query.Leaf(ins[bestInput])
+		root = r.leaf(ins[bestInput])
 	} else {
 		root = r.buildOp(p.Goal, bestSite)
 	}
 	return root, best, nil
+}
+
+// inputWidth returns the byte width of an input's tuples: its own
+// declared width when set (a derived producer's actual output), else the
+// width table's entry for its mask, else 1.
+func inputWidth(in *query.Input, widths query.WidthTable) float64 {
+	if in.Width > 0 {
+		return in.Width
+	}
+	return widths.Width(in.Mask)
 }
 
 // rebuilder reconstructs the optimal plan from the flat DP tables. It must
@@ -296,11 +313,21 @@ func (sc *solveScratch) solve(p Problem, buildPlan bool) (*query.PlanNode, float
 // every input it references, so nothing aliases the scratch afterwards.
 type rebuilder struct {
 	rates   query.RateTable
+	widths  query.WidthTable
 	ins     []query.Input
 	sites   []netgraph.NodeID
 	m       int
 	availCh []int32
 	opSplit []query.Mask
+}
+
+// leaf builds a leaf node, stamping its tuple width from the table when
+// the input carries none of its own.
+func (r *rebuilder) leaf(in query.Input) *query.PlanNode {
+	if in.Width == 0 && r.widths != nil {
+		in.Width = r.widths.Width(in.Mask)
+	}
+	return query.Leaf(in)
 }
 
 // buildOp reconstructs the operator producing sub-join s placed at site
@@ -310,7 +337,11 @@ func (r *rebuilder) buildOp(s query.Mask, u int) *query.PlanNode {
 	m2 := s ^ m1
 	l := r.buildAvail(m1, u)
 	rt := r.buildAvail(m2, u)
-	return query.Join(l, rt, r.sites[u], r.rates.Rate(s))
+	n := query.Join(l, rt, r.sites[u], r.rates.Rate(s))
+	if r.widths != nil {
+		n.Width = r.widths.Width(s)
+	}
+	return n
 }
 
 // buildAvail reconstructs the realization of sub-join s whose output feeds
@@ -318,7 +349,7 @@ func (r *rebuilder) buildOp(s query.Mask, u int) *query.PlanNode {
 func (r *rebuilder) buildAvail(s query.Mask, v int) *query.PlanNode {
 	ch := r.availCh[int(s)*r.m+v]
 	if ch >= 0 {
-		return query.Leaf(r.ins[ch])
+		return r.leaf(r.ins[ch])
 	}
 	return r.buildOp(s, int(-(ch + 2)))
 }

@@ -47,12 +47,14 @@ func TopDownOpts(h *hierarchy.Hierarchy, cat *query.Catalog, q *query.Query, reg
 	defer sp.End()
 	started := emitPlanStarted(opts, q, "topdown")
 	rt := query.BuildRates(cat, q)
-	td := &tdPlanner{h: h, q: q, rt: rt, reg: reg, opts: opts, obs: newPlannerObs(opts.Obs, "topdown")}
+	wt := query.BuildWidths(cat, q)
+	td := &tdPlanner{h: h, q: q, rt: rt, wt: wt, reg: reg, opts: opts, obs: newPlannerObs(opts.Obs, "topdown")}
 	plan, trace, err := td.planView(h.Top(), BaseInputs(cat, q, rt), q.Sink, true)
 	if err != nil {
 		return Result{}, fmt.Errorf("top-down: %w", err)
 	}
 	plan = AttachAggregate(q, plan, h.Cover(h.Top()), h.Paths().Dist, opts.Penalty)
+	wt.Stamp(plan)
 	if err := plan.Validate(); err != nil {
 		return Result{}, fmt.Errorf("top-down: invalid plan: %w", err)
 	}
@@ -72,6 +74,7 @@ type tdPlanner struct {
 	h        *hierarchy.Hierarchy
 	q        *query.Query
 	rt       query.RateTable
+	wt       query.WidthTable
 	reg      *ads.Registry
 	opts     Options
 	obs      plannerObs
@@ -124,7 +127,7 @@ func (td *tdPlanner) planView(c *hierarchy.Cluster, leaves []query.Input, out ne
 	est := func(a, b netgraph.NodeID) float64 { return paths.Dist(rep(a), rep(b)) }
 
 	plan0, cost0, err := Solve(Problem{
-		Inputs: inputs, Sites: c.Members, Dist: est, Rates: td.rt,
+		Inputs: inputs, Sites: c.Members, Dist: est, Rates: td.rt, Widths: td.wt,
 		Goal: goal, Sink: out, Deliver: deliver, Penalty: td.opts.Penalty,
 	})
 	if err != nil {
@@ -170,6 +173,7 @@ func (td *tdPlanner) planView(c *hierarchy.Cluster, leaves []query.Input, out ne
 			childTrees[x.Mask] = sub
 			compLeaves = append(compLeaves, query.Input{
 				Mask: x.Mask, Rate: x.Rate, Loc: sub.Loc, Sig: td.q.SigOf(x.Mask),
+				Width: x.Width,
 			})
 		}
 		// Ship toward the consumer: the final sink for the root view, the

@@ -141,6 +141,132 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestProjectionValidation(t *testing.T) {
+	cat := catalog()
+	cases := map[string]string{
+		"SELECT NOPE.X FROM FLIGHTS":            `unknown stream "NOPE" in projection`,
+		"SELECT WEATHER.CITY FROM FLIGHTS":      `projected stream "WEATHER" not in FROM`,
+		"SELECT FLIGHTS.A, NOPE.B FROM FLIGHTS": `unknown stream "NOPE" in projection`,
+	}
+	for input, frag := range cases {
+		_, err := Parse(cat, input)
+		if err == nil {
+			t.Errorf("%q: no error", input)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("%q: error %q missing %q", input, err, frag)
+		}
+	}
+
+	st, err := Parse(cat, "SELECT FLIGHTS.STATUS, FLIGHTS.Status, WEATHER.TEMP FROM FLIGHTS, WEATHER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flights, weather := st.Sources[0], st.Sources[1]
+	if got := st.ProjCols[flights]; len(got) != 1 || got[0] != "status" {
+		t.Errorf("FLIGHTS cols = %v, want deduplicated [status]", got)
+	}
+	if got := st.ProjCols[weather]; len(got) != 1 || got[0] != "temp" {
+		t.Errorf("WEATHER cols = %v", got)
+	}
+}
+
+// TestStringRoundTrip checks Parse∘String is a fixpoint: re-parsing the
+// rendering reproduces the same sources, projection (star stays star),
+// predicates and aggregate.
+func TestStringRoundTrip(t *testing.T) {
+	cat := catalog()
+	for _, input := range []string{
+		q1,
+		"SELECT * FROM FLIGHTS",
+		"SELECT * FROM FLIGHTS, WEATHER WHERE FLIGHTS.DESTN = WEATHER.CITY",
+		"SELECT FLIGHTS.STATUS FROM FLIGHTS WHERE FLIGHTS.DP_TIME < 0.5",
+		"SELECT * FROM FLIGHTS WINDOW 30 AGGREGATE COUNT",
+		"SELECT * FROM CHECK-INS WHERE CHECK-INS.FLNUM BETWEEN 0.25 AND 0.75",
+	} {
+		st, err := Parse(cat, input)
+		if err != nil {
+			t.Fatalf("%q: %v", input, err)
+		}
+		rendered := st.String()
+		st2, err := Parse(cat, rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, input, err)
+		}
+		if st2.Star != st.Star {
+			t.Errorf("%q: star %v -> %v through %q", input, st.Star, st2.Star, rendered)
+		}
+		if len(st2.Sources) != len(st.Sources) {
+			t.Errorf("%q: sources %v -> %v", input, st.Sources, st2.Sources)
+		}
+		if !st2.Preds.Equal(st.Preds) {
+			t.Errorf("%q: predicates changed through %q", input, rendered)
+		}
+		if (st2.Agg == nil) != (st.Agg == nil) {
+			t.Errorf("%q: aggregate lost through %q", input, rendered)
+		}
+		if got := st2.String(); got != rendered {
+			t.Errorf("String not canonical: %q -> %q", rendered, got)
+		}
+	}
+}
+
+// TestContradictionParses: a provably-empty WHERE clause is a valid
+// statement — it parses, flags Contradiction, and carries no predicates;
+// the rewrite pipeline (not the parser) folds it to a no-op plan.
+func TestContradictionParses(t *testing.T) {
+	cat := catalog()
+	st, err := Parse(cat, "SELECT FLIGHTS.STATUS FROM FLIGHTS WHERE FLIGHTS.X < 0.2 AND FLIGHTS.X > 0.7")
+	if err != nil {
+		t.Fatalf("contradictory statement rejected: %v", err)
+	}
+	if !st.Contradiction {
+		t.Fatal("Contradiction flag not set")
+	}
+	if st.Preds.Len() != 0 {
+		t.Errorf("contradictory statement kept %d predicates", st.Preds.Len())
+	}
+	if !st.Pushdown().Contradiction {
+		t.Error("Pushdown() lost the contradiction")
+	}
+}
+
+func TestPushdownProjection(t *testing.T) {
+	cat := catalog()
+	st, err := Parse(cat, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := st.Pushdown()
+	if pd.Star || pd.Contradiction {
+		t.Fatalf("pushdown = %+v", pd)
+	}
+	flights, weather, checkins := st.Sources[0], st.Sources[1], st.Sources[2]
+	if got := pd.Cols[flights]; len(got) != 1 || got[0] != "status" {
+		t.Errorf("FLIGHTS cols = %v", got)
+	}
+	// FLIGHTS joins on both DESTN (to WEATHER.CITY) and NUM (to
+	// CHECK-INS.FLNUM); pruning must keep the join keys.
+	if got := pd.JoinAttrs[flights]; len(got) != 2 {
+		t.Errorf("FLIGHTS join attrs = %v", got)
+	}
+	if got := pd.JoinAttrs[weather]; len(got) != 1 || got[0] != "city" {
+		t.Errorf("WEATHER join attrs = %v", got)
+	}
+	if got := pd.JoinAttrs[checkins]; len(got) != 1 || got[0] != "flnum" {
+		t.Errorf("CHECK-INS join attrs = %v", got)
+	}
+
+	star, err := Parse(cat, "SELECT * FROM FLIGHTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd := star.Pushdown(); !pd.Star || pd.Cols != nil {
+		t.Errorf("star pushdown = %+v", pd)
+	}
+}
+
 func TestLexer(t *testing.T) {
 	toks, err := lex("SELECT a.b, c-d.e <= 0.25 'lit'")
 	if err != nil {

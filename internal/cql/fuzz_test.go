@@ -28,6 +28,15 @@ func FuzzParse(f *testing.F) {
 		"SELECT * FROM FLIGHTS WINDOW x AGGREGATE",
 		"SELECT * FROM FLIGHTS WHERE FLIGHTS.A < 'oops'",
 		"SELECT * FROM FLIGHTS WHERE WEATHER.CITY = FLIGHTS.DESTN",
+		// Pushdown-hostile: an always-true range, a contradiction split
+		// across two comparisons, a join key that is also projected, and a
+		// projected stream that must be validated against FROM — every
+		// rewrite rule and the projection resolver fire on one statement.
+		"SELECT FLIGHTS.STATUS, WEATHER.CITY FROM FLIGHTS, WEATHER" +
+			" WHERE FLIGHTS.DP_TIME BETWEEN 0 AND 1 AND FLIGHTS.STATUS < 0.3" +
+			" AND FLIGHTS.STATUS > 0.7 AND FLIGHTS.DESTN = WEATHER.CITY",
+		"SELECT NOPE.X FROM FLIGHTS",
+		"SELECT WEATHER.CITY FROM FLIGHTS",
 		"'unterminated",
 		"SELECT * FROM FLIGHTS -- trailing garbage ;;;",
 		"\x00\xff\xfe",
@@ -51,6 +60,12 @@ func FuzzParse(f *testing.F) {
 		// error) — downstream planners assume Query never panics.
 		if q, qerr := st.Query(0, 0); qerr == nil && q == nil {
 			t.Fatalf("Statement.Query of %q returned nil query and nil error", input)
+		}
+		// The pushdown projection view must be derivable without panicking,
+		// and the canonical rendering must re-parse.
+		_ = st.Pushdown()
+		if _, rerr := Parse(cat, st.String()); rerr != nil {
+			t.Fatalf("String of accepted %q does not re-parse: %q: %v", input, st.String(), rerr)
 		}
 	})
 }

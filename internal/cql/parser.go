@@ -1,6 +1,7 @@
 package cql
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 
 	"hnp/internal/netgraph"
 	"hnp/internal/query"
+	"hnp/internal/query/rewrite"
 )
 
 // EqSelectivity is the assumed selectivity of a string-equality predicate
@@ -20,20 +22,38 @@ const EqSelectivity = 0.05
 // Statement is a parsed continuous query, ready to instantiate against a
 // sink and deploy.
 type Statement struct {
-	// Projection lists the selected columns ("STREAM.ATTR" or "*"); the
-	// cost model is projection-agnostic, but the list is validated and
-	// kept for tooling.
+	// Projection lists the selected columns ("STREAM.ATTR" or "*").
+	// Every column's stream is validated against the FROM clause; the
+	// rewrite pipeline turns the list into per-source column pruning.
 	Projection []string
+	// Star records an explicit `SELECT *`: the statement asks for full
+	// tuples, which is NOT equivalent to any column list — it round-trips
+	// through String() as `*` and disables column pruning.
+	Star bool
+	// ProjCols maps each projected stream to its selected attributes
+	// (lowercased, deduplicated, in selection order). Empty for SELECT *.
+	ProjCols map[query.StreamID][]string
 	// Sources are the FROM streams resolved against the catalog.
 	Sources []query.StreamID
 	// Preds are the selection predicates from the WHERE clause.
 	Preds query.PredSet
+	// Contradiction marks a statement whose WHERE clause is provably
+	// always-false (disjoint ranges on one attribute). Such statements
+	// parse successfully — the rewrite pipeline folds them to a no-op
+	// plan instead of the planner shipping tuples nobody can match.
+	Contradiction bool
 	// JoinConds records the equi-join conditions ("A.X=B.Y") for
 	// documentation; the planner joins on the catalog's pairwise
 	// selectivities.
 	JoinConds []string
+	// JoinAttrs maps each stream to its equi-join key attributes
+	// (lowercased) — columns pruning must always keep.
+	JoinAttrs map[query.StreamID][]string
 	// Agg is the optional WINDOW/AGGREGATE clause.
 	Agg *query.AggSpec
+	// fromNames are the FROM streams' names as written (uppercased), for
+	// String's round-trip rendering.
+	fromNames []string
 }
 
 // Query instantiates the statement as a query with the given id,
@@ -45,12 +65,27 @@ func (st *Statement) Query(id int, sink netgraph.NodeID) (*query.Query, error) {
 	return query.NewQueryPred(id, st.Sources, sink, st.Preds)
 }
 
+// Pushdown returns the statement's column and contradiction information
+// in the rewrite pipeline's vocabulary.
+func (st *Statement) Pushdown() rewrite.Projection {
+	return rewrite.Projection{
+		Star:          st.Star,
+		Cols:          st.ProjCols,
+		JoinAttrs:     st.JoinAttrs,
+		Contradiction: st.Contradiction,
+	}
+}
+
 type parser struct {
 	toks    []token
 	pos     int
 	cat     *query.Catalog
 	byN     map[string]query.StreamID
 	sources []query.StreamID
+	// proj holds the projection's (STREAM, ATTR) pairs until the FROM
+	// clause resolves stream names — projection parses first but can only
+	// be validated afterwards.
+	proj [][2]string
 }
 
 // Parse parses a SELECT statement against the catalog. Stream names are
@@ -97,6 +132,9 @@ func (p *parser) statement() (*Statement, error) {
 	if err := p.fromClause(st); err != nil {
 		return nil, err
 	}
+	if err := p.resolveProjection(st); err != nil {
+		return nil, err
+	}
 	var preds []query.Pred
 	if p.isKw("WHERE") {
 		p.next()
@@ -117,6 +155,14 @@ func (p *parser) statement() (*Statement, error) {
 	}
 	ps, err := query.NewPredSet(preds...)
 	if err != nil {
+		// A provably-empty conjunction is a valid (if pointless) query:
+		// record the contradiction for the rewrite pipeline to fold to a
+		// no-op plan rather than rejecting the statement.
+		if errors.Is(err, query.ErrContradiction) {
+			st.Contradiction = true
+			st.Preds = query.PredSet{}
+			return st, nil
+		}
 		return nil, fmt.Errorf("cql: %w", err)
 	}
 	st.Preds = ps
@@ -127,6 +173,7 @@ func (p *parser) projection(st *Statement) error {
 	if p.peek().kind == tokStar {
 		p.next()
 		st.Projection = []string{"*"}
+		st.Star = true
 		return nil
 	}
 	for {
@@ -135,11 +182,43 @@ func (p *parser) projection(st *Statement) error {
 			return err
 		}
 		st.Projection = append(st.Projection, stream+"."+attr)
+		p.proj = append(p.proj, [2]string{stream, attr})
 		if p.peek().kind != tokComma {
 			return nil
 		}
 		p.next()
 	}
+}
+
+// resolveProjection validates the projection against the now-parsed FROM
+// clause: every projected column must name a stream the query actually
+// reads. It fills ProjCols with lowercased, deduplicated attributes.
+func (p *parser) resolveProjection(st *Statement) error {
+	if st.Star {
+		return nil
+	}
+	st.ProjCols = map[query.StreamID][]string{}
+	for _, col := range p.proj {
+		id, ok := p.byN[col[0]]
+		if !ok {
+			return fmt.Errorf("cql: unknown stream %q in projection", col[0])
+		}
+		if !p.inFrom(id) {
+			return fmt.Errorf("cql: projected stream %q not in FROM", col[0])
+		}
+		attr := strings.ToLower(col[1])
+		dup := false
+		for _, a := range st.ProjCols[id] {
+			if a == attr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			st.ProjCols[id] = append(st.ProjCols[id], attr)
+		}
+	}
+	return nil
 }
 
 // column parses STREAM.ATTR.
@@ -175,6 +254,7 @@ func (p *parser) fromClause(st *Statement) error {
 		}
 		seen[id] = true
 		st.Sources = append(st.Sources, id)
+		st.fromNames = append(st.fromNames, strings.ToUpper(t.text))
 		p.sources = st.Sources
 		if p.peek().kind != tokComma {
 			return nil
@@ -254,6 +334,11 @@ func (p *parser) condition(st *Statement) ([]query.Pred, error) {
 			return nil, fmt.Errorf("cql: self-join conditions are not supported")
 		}
 		st.JoinConds = append(st.JoinConds, fmt.Sprintf("%s.%s=%s.%s", lStream, lAttr, rStream, rAttr))
+		if st.JoinAttrs == nil {
+			st.JoinAttrs = map[query.StreamID][]string{}
+		}
+		st.JoinAttrs[lID] = appendAttr(st.JoinAttrs[lID], strings.ToLower(lAttr))
+		st.JoinAttrs[rID] = appendAttr(st.JoinAttrs[rID], strings.ToLower(rAttr))
 		return nil, nil
 	case tokString: // string equality: hashed onto a deterministic range
 		if opTok.text != "=" {
@@ -339,6 +424,73 @@ func (p *parser) aggClause(st *Statement) error {
 	}
 	st.Agg = &query.AggSpec{Fn: strings.ToLower(fn.text), Window: w, OutRate: 1 / w}
 	return nil
+}
+
+func appendAttr(attrs []string, a string) []string {
+	for _, x := range attrs {
+		if x == a {
+			return attrs
+		}
+	}
+	return append(attrs, a)
+}
+
+// String renders the statement back to parseable CQL. The rendering is
+// canonical over the parsed representation — `SELECT *` stays `*`
+// (explicitly full tuples, never rewritten to a column list), predicates
+// render as BETWEEN over their normalized ranges — and Parse(String())
+// reproduces the same sources, projection, predicate set and aggregate.
+func (st *Statement) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if st.Star {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(strings.Join(st.Projection, ", "))
+	}
+	b.WriteString(" FROM ")
+	return st.render(&b)
+}
+
+// render finishes String; split out so the FROM names can be derived from
+// the statement itself (stream names are not stored — the caller's
+// catalog owns them), via the names recorded at parse time.
+func (st *Statement) render(b *strings.Builder) string {
+	b.WriteString(strings.Join(st.fromNames, ", "))
+	first := true
+	writeCond := func(s string) {
+		if first {
+			b.WriteString(" WHERE ")
+			first = false
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(s)
+	}
+	for _, jc := range st.JoinConds {
+		writeCond(strings.ReplaceAll(jc, "=", " = "))
+	}
+	for _, pr := range st.Preds.Preds() {
+		name := st.nameOf(pr.Stream)
+		writeCond(fmt.Sprintf("%s.%s BETWEEN %s AND %s",
+			name, strings.ToUpper(pr.Attr),
+			strconv.FormatFloat(pr.Range.Lo, 'g', -1, 64),
+			strconv.FormatFloat(pr.Range.Hi, 'g', -1, 64)))
+	}
+	if st.Agg != nil {
+		fmt.Fprintf(b, " WINDOW %s AGGREGATE %s",
+			strconv.FormatFloat(st.Agg.Window, 'g', -1, 64), strings.ToUpper(st.Agg.Fn))
+	}
+	return b.String()
+}
+
+func (st *Statement) nameOf(id query.StreamID) string {
+	for i, s := range st.Sources {
+		if s == id {
+			return st.fromNames[i]
+		}
+	}
+	return fmt.Sprintf("stream-%d", id)
 }
 
 // literalOffset hashes a string literal onto [0, 1-EqSelectivity].

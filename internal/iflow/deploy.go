@@ -36,7 +36,7 @@ func (rt *Runtime) Deploy(q *query.Query, plan *query.PlanNode, cat *query.Catal
 	if err != nil {
 		return err
 	}
-	rt.sinks[q.ID] = &SinkStats{Node: q.Sink}
+	rt.sinks[q.ID] = &SinkStats{Node: q.Sink, width: inst.root.width}
 	inst.root.subscribe(subscription{sink: q.ID, to: q.Sink})
 	rt.deploys[q.ID] = &deployment{q: q, plan: plan, held: inst.held}
 	if rt.tr.On() {
@@ -95,7 +95,7 @@ func (rt *Runtime) instantiateNode(q *query.Query, n *query.PlanNode, cat *query
 					return nil, fmt.Errorf("iflow: contained stream %s@%d not deployed", n.In.BaseSig, n.Loc)
 				}
 				key := opKey{sig: n.In.Sig, node: n.Loc}
-				op = &Operator{key: key, isFilter: true, passProb: residualPassProb(n.Rate, base.expRate), expRate: n.Rate}
+				op = &Operator{key: key, isFilter: true, passProb: residualPassProb(n.Rate, base.expRate), expRate: n.Rate, width: n.Width}
 				rt.ops[key] = op
 				inst.created[key] = true
 				base.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})
@@ -117,6 +117,11 @@ func (rt *Runtime) instantiateNode(q *query.Query, n *query.PlanNode, cat *query
 			if err != nil {
 				return nil, err
 			}
+			// The tap emits the plan's shipped width for this stream (the
+			// pruned width when the rewrite pipeline dropped columns).
+			// Differently-projected streams have different signatures, so a
+			// shared tap is never re-widened by a later deployment.
+			op.width = n.Width
 			inst.created[op.key] = true
 		}
 		return hold(op), nil
@@ -130,7 +135,7 @@ func (rt *Runtime) instantiateNode(q *query.Query, n *query.PlanNode, cat *query
 		op := rt.ops[key]
 		if op == nil {
 			op = &Operator{
-				key: key, isAgg: true, aggWindow: n.Unary.Agg.Window, expRate: n.Rate,
+				key: key, isAgg: true, aggWindow: n.Unary.Agg.Window, expRate: n.Rate, width: n.Width,
 			}
 			rt.ops[key] = op
 			inst.created[key] = true
@@ -150,7 +155,7 @@ func (rt *Runtime) instantiateNode(q *query.Query, n *query.PlanNode, cat *query
 	key := opKey{sig: sig, node: n.Loc}
 	op := rt.ops[key]
 	if op == nil {
-		op = &Operator{key: key, window: rt.cfg.Window, expRate: n.Rate}
+		op = &Operator{key: key, window: rt.cfg.Window, expRate: n.Rate, width: n.Width}
 		rt.ops[key] = op
 		inst.created[key] = true
 		l.subscribe(subscription{dst: key, side: leftSide, sink: -1, to: n.Loc})

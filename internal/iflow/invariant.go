@@ -27,10 +27,19 @@ import (
 //     kept alive only to feed downstream work — anything else is garbage
 //     Undeploy failed to collect);
 //   - the subscription graph between operators is acyclic;
-//   - transport conservation: total bytes equal the fixed tuple size
-//     times the transferred-plus-state-shipped tuple count, the in-flight
-//     ledger is non-negative, and per-sink byte counts match delivered
-//     tuples.
+//   - per-operator emission homogeneity: every operator's produced bytes
+//     equal its tuple width (stamped from the plan, or the global
+//     TupleSize) times its produced tuple count — widths never change
+//     over an operator's life;
+//   - transport conservation: when every byte ever charged had one
+//     uniform size (the width-free legacy mode, or a fleet pruned to a
+//     single width) total bytes equal that size times the
+//     transferred-plus-state-shipped tuple count exactly; under mixed
+//     per-operator widths the total is instead bracketed by the smallest
+//     and largest size ever charged. The in-flight ledger is
+//     non-negative, and per-sink byte counts match delivered tuples at
+//     the sink's root width (exact unless a migration changed the root
+//     width mid-stream).
 //
 // It is a read-only audit intended for tests and the chaos harness; cost
 // is linear in operators + subscriptions.
@@ -120,22 +129,49 @@ func (rt *Runtime) CheckInvariants(liveNode func(netgraph.NodeID) bool) error {
 		return err
 	}
 
-	// Transport conservation. Every tuple the engine moves has the fixed
-	// configured size (base emissions, projected join outputs, aggregate
-	// summaries, filter pass-throughs), so byte totals are tied to counts.
+	// Emission homogeneity: an operator's width is fixed at creation, so
+	// its byte output is exactly width × count regardless of what mix of
+	// widths the rest of the fleet runs at.
+	for _, k := range keys {
+		op := rt.ops[k]
+		if want := rt.opWidth(op) * float64(op.OutCount); !approxEq(op.OutBytes, want) {
+			return fmt.Errorf("iflow: operator %s@%d emitted %d tuples of width %g but %g bytes (want %g)",
+				k.sig, k.node, op.OutCount, rt.opWidth(op), op.OutBytes, want)
+		}
+	}
+
+	// Transport conservation. Every byte charged to TotalBytes came from a
+	// transferred or state-shipped tuple whose size the runtime bracketed
+	// in [minTupleSize, maxTupleSize]; with a uniform bracket the formulas
+	// are exact.
 	if rt.InFlight() < 0 {
 		return fmt.Errorf("iflow: negative in-flight ledger %d (sent %d)", rt.InFlight(), rt.TuplesSent)
 	}
 	if rt.TuplesTransferred > rt.TuplesSent {
 		return fmt.Errorf("iflow: %d tuples crossed links but only %d were sent", rt.TuplesTransferred, rt.TuplesSent)
 	}
-	if want := rt.cfg.TupleSize * float64(rt.TuplesTransferred+rt.StateTuplesShipped); !approxEq(rt.TotalBytes, want) {
-		return fmt.Errorf("iflow: %d transferred + %d shipped tuples of size %g account %g bytes, runtime recorded %g",
-			rt.TuplesTransferred, rt.StateTuplesShipped, rt.cfg.TupleSize, want, rt.TotalBytes)
-	}
-	if want := rt.cfg.TupleSize * float64(rt.StateTuplesShipped); !approxEq(rt.StateBytesShipped, want) {
-		return fmt.Errorf("iflow: %d shipped tuples of size %g account %g bytes, runtime recorded %g",
-			rt.StateTuplesShipped, rt.cfg.TupleSize, want, rt.StateBytesShipped)
+	moved := rt.TuplesTransferred + rt.StateTuplesShipped
+	if rt.minTupleSize == rt.maxTupleSize {
+		size := rt.maxTupleSize // 0 exactly when nothing moved yet
+		if want := size * float64(moved); !approxEq(rt.TotalBytes, want) {
+			return fmt.Errorf("iflow: %d transferred + %d shipped tuples of size %g account %g bytes, runtime recorded %g",
+				rt.TuplesTransferred, rt.StateTuplesShipped, size, want, rt.TotalBytes)
+		}
+		if want := size * float64(rt.StateTuplesShipped); !approxEq(rt.StateBytesShipped, want) {
+			return fmt.Errorf("iflow: %d shipped tuples of size %g account %g bytes, runtime recorded %g",
+				rt.StateTuplesShipped, size, want, rt.StateBytesShipped)
+		}
+	} else {
+		lo, hi := rt.minTupleSize*float64(moved), rt.maxTupleSize*float64(moved)
+		if rt.TotalBytes < lo-1e-6 || rt.TotalBytes > hi+1e-6 {
+			return fmt.Errorf("iflow: %d moved tuples of widths [%g,%g] bound bytes to [%g,%g], runtime recorded %g",
+				moved, rt.minTupleSize, rt.maxTupleSize, lo, hi, rt.TotalBytes)
+		}
+		lo, hi = rt.minTupleSize*float64(rt.StateTuplesShipped), rt.maxTupleSize*float64(rt.StateTuplesShipped)
+		if rt.StateBytesShipped < lo-1e-6 || rt.StateBytesShipped > hi+1e-6 {
+			return fmt.Errorf("iflow: %d shipped tuples of widths [%g,%g] bound bytes to [%g,%g], runtime recorded %g",
+				rt.StateTuplesShipped, rt.minTupleSize, rt.maxTupleSize, lo, hi, rt.StateBytesShipped)
+		}
 	}
 	sids := make([]int, 0, len(rt.sinks))
 	for qid := range rt.sinks {
@@ -147,8 +183,15 @@ func (rt *Runtime) CheckInvariants(liveNode func(netgraph.NodeID) bool) error {
 		if s.Tuples < 0 || s.Bytes < 0 || s.LatencySum < 0 {
 			return fmt.Errorf("iflow: sink %d has negative statistics %+v", qid, *s)
 		}
-		if want := rt.cfg.TupleSize * float64(s.Tuples); !approxEq(s.Bytes, want) {
-			return fmt.Errorf("iflow: sink %d delivered %d tuples but %g bytes (want %g)", qid, s.Tuples, s.Bytes, want)
+		if s.mixed {
+			continue // root width changed mid-stream; counts stay audited above
+		}
+		w := s.width
+		if w == 0 {
+			w = rt.cfg.TupleSize
+		}
+		if want := w * float64(s.Tuples); !approxEq(s.Bytes, want) {
+			return fmt.Errorf("iflow: sink %d delivered %d tuples of width %g but %g bytes (want %g)", qid, s.Tuples, w, s.Bytes, want)
 		}
 	}
 	return nil

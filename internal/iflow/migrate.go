@@ -154,7 +154,7 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 		}
 		if op.isAgg && op.aggCount > 0 {
 			rep.StateCarried++
-			rep.BytesSaved += rt.cfg.TupleSize
+			rep.BytesSaved += rt.opWidth(op)
 		}
 	}
 
@@ -180,6 +180,7 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 		ship := func(t Tuple) {
 			rt.TotalCost += t.Size * linkCost
 			rt.TotalBytes += t.Size
+			rt.noteSize(t.Size)
 			rt.StateTuplesShipped++
 			rt.StateBytesShipped += t.Size
 			rep.StateShipped++
@@ -196,7 +197,7 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 		}
 		if oldOp.isAgg && newOp.isAgg && oldOp.aggCount > 0 {
 			newOp.aggCount, newOp.aggBorn, newOp.aggNext = oldOp.aggCount, oldOp.aggBorn, oldOp.aggNext
-			ship(Tuple{Size: rt.cfg.TupleSize})
+			ship(Tuple{Size: rt.opWidth(oldOp)})
 		}
 	}
 	rt.obsStateShipped.Add(rep.StateShipped)
@@ -216,6 +217,15 @@ func (rt *Runtime) Migrate(q *query.Query, plan *query.PlanNode, cat *query.Cata
 			op.unsubscribe(subscription{sink: q.ID, to: sink.Node})
 		}
 		inst.root.subscribe(subscription{sink: q.ID, to: sink.Node})
+	}
+	if sink.width != inst.root.width {
+		// A new root with a different tuple width: deliveries before this
+		// migration used the old width, so the exact per-sink byte
+		// invariant no longer applies.
+		if sink.Tuples > 0 {
+			sink.mixed = true
+		}
+		sink.width = inst.root.width
 	}
 
 	// Phase 4 — retire. The old references are dropped and operators no

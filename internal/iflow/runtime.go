@@ -103,6 +103,14 @@ type Operator struct {
 	// cost model, used to derive filter pass probabilities.
 	expRate float64
 
+	// width is the byte size of tuples this operator emits, stamped from
+	// the plan node's width at creation. 0 means "no width information":
+	// the operator emits at the runtime's global TupleSize, the
+	// pre-schema behavior. Widths never change over an operator's life —
+	// a differently-projected stream has a different signature and is a
+	// different operator.
+	width float64
+
 	window      float64
 	left, right []Tuple
 	subs        []subscription
@@ -127,10 +135,18 @@ func (op *Operator) StateBytes(tupleSize float64) float64 {
 		b += t.Size
 	}
 	if op.isAgg && op.aggCount > 0 {
-		b += tupleSize
+		if op.width > 0 {
+			b += op.width
+		} else {
+			b += tupleSize
+		}
 	}
 	return b
 }
+
+// Width returns the byte size of tuples this operator emits (0 when the
+// operator runs width-free on the global TupleSize).
+func (op *Operator) Width() float64 { return op.width }
 
 // Refs returns how many deployment plan nodes currently hold this
 // operator. A migration that releases fewer references than this leaves
@@ -182,6 +198,12 @@ type SinkStats struct {
 	Tuples     int64
 	Bytes      float64
 	LatencySum float64
+
+	// width is the emitting root operator's tuple width (0 = global
+	// TupleSize); mixed is set if a migration ever changed it after
+	// deliveries, which relaxes the exact per-sink byte invariant.
+	width float64
+	mixed bool
 }
 
 // MeanLatency returns the average end-to-end delivery latency in seconds,
@@ -249,6 +271,13 @@ type Runtime struct {
 	// sum of both.
 	StateTuplesShipped int64
 	StateBytesShipped  float64
+
+	// minTupleSize/maxTupleSize bracket the sizes of every tuple ever
+	// charged to TotalBytes (link transfers and shipped state). With
+	// uniform sizes the byte-conservation invariant is exact; with
+	// per-operator widths it degrades to these bounds.
+	minTupleSize float64
+	maxTupleSize float64
 
 	// costSpare/delaySpare are the retired halves of the two snapshot
 	// ping-pong pairs refreshPaths recycles: each refresh writes into the
@@ -408,6 +437,7 @@ func (rt *Runtime) transfer(from, to netgraph.NodeID, t Tuple, deliver func(Tupl
 	if from != to {
 		rt.TotalCost += t.Size * rt.Cost.Dist(from, to)
 		rt.TotalBytes += t.Size
+		rt.noteSize(t.Size)
 		rt.TuplesTransferred++
 		rt.obsTransferred.Inc()
 		rt.obsCost.Set(rt.TotalCost)
@@ -418,6 +448,26 @@ func (rt *Runtime) transfer(from, to netgraph.NodeID, t Tuple, deliver func(Tupl
 		rt.tuplesSettled++
 		deliver(t)
 	})
+}
+
+// noteSize folds one byte-charged tuple size into the min/max bracket the
+// conservation invariant checks against.
+func (rt *Runtime) noteSize(s float64) {
+	if rt.maxTupleSize == 0 || s < rt.minTupleSize {
+		rt.minTupleSize = s
+	}
+	if s > rt.maxTupleSize {
+		rt.maxTupleSize = s
+	}
+}
+
+// opWidth returns the byte size of tuples op emits: its stamped width, or
+// the global TupleSize for width-free operators.
+func (rt *Runtime) opWidth(op *Operator) float64 {
+	if op.width > 0 {
+		return op.width
+	}
+	return rt.cfg.TupleSize
 }
 
 // InFlight returns the number of tuples handed to the transport whose
@@ -462,6 +512,9 @@ func (rt *Runtime) receive(op *Operator, s side, t Tuple) {
 	}
 	if op.isFilter {
 		if rt.rng.Float64() < op.passProb {
+			// Residual filters re-emit at their own width (a no-op for
+			// width-free operators, whose upstream already ships TupleSize).
+			t.Size = rt.opWidth(op)
 			rt.emit(op, t)
 		}
 		return
@@ -469,7 +522,7 @@ func (rt *Runtime) receive(op *Operator, s side, t Tuple) {
 	if op.isAgg {
 		now := rt.Sim.Now()
 		if now >= op.aggNext && op.aggCount > 0 {
-			rt.emit(op, Tuple{Key: op.aggCount, Size: rt.cfg.TupleSize, Born: op.aggBorn})
+			rt.emit(op, Tuple{Key: op.aggCount, Size: rt.opWidth(op), Born: op.aggBorn})
 			op.aggCount, op.aggBorn = 0, 0
 		}
 		if op.aggCount == 0 {
@@ -493,9 +546,10 @@ func (rt *Runtime) receive(op *Operator, s side, t Tuple) {
 	}
 	for _, o := range *other {
 		if o.Key == t.Key {
-			// Join outputs are projected to the fixed tuple width, keeping
+			// Join outputs are projected to the operator's output width
+			// (the global tuple width when no schema is declared), keeping
 			// data rates in the same units as the analytic cost model.
-			out := Tuple{Key: t.Key, Size: rt.cfg.TupleSize, Born: min(t.Born, o.Born)}
+			out := Tuple{Key: t.Key, Size: rt.opWidth(op), Born: min(t.Born, o.Born)}
 			rt.emit(op, out)
 		}
 	}
@@ -533,7 +587,7 @@ func (rt *Runtime) StartSource(sig string, node netgraph.NodeID, rate float64, u
 		}
 		t := Tuple{
 			Key:  rt.rng.Int63n(rt.cfg.KeyDomain),
-			Size: rt.cfg.TupleSize,
+			Size: rt.opWidth(op),
 			Born: rt.Sim.Now(),
 		}
 		rt.emit(op, t)

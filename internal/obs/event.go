@@ -62,6 +62,11 @@ const (
 	// of changed links; Detail carries the refresh mode ("incremental" or
 	// "full") and the metric.
 	KindPathRefresh
+	// KindRewriteApplied: the logical optimizer pipeline rewrote a query
+	// before planning. Value is the planned source byte rate saved, Aux
+	// the number of rules that changed the query; Detail carries the
+	// per-rule audit trace.
+	KindRewriteApplied
 )
 
 var kindNames = [...]string{
@@ -77,6 +82,7 @@ var kindNames = [...]string{
 	KindInvariantChecked:    "invariant_checked",
 	KindHierarchyChanged:    "hierarchy_changed",
 	KindPathRefresh:         "path_refresh",
+	KindRewriteApplied:      "rewrite_applied",
 }
 
 // String returns the snake_case taxonomy name.

@@ -32,6 +32,10 @@ type Input struct {
 	// input is derived from by containment: the runtime attaches a
 	// residual filter at Loc that narrows BaseSig's output to Sig.
 	BaseSig string
+	// Width is the byte width of one tuple of this input (0 = unknown;
+	// costing treats unknown as 1 and the runtime falls back to its
+	// global TupleSize).
+	Width float64
 }
 
 // PlanNode is one node of a deployed operator tree: a leaf consuming an
@@ -49,12 +53,25 @@ type PlanNode struct {
 	Unary *UnarySpec
 	// L, R are the children of a join node (R is nil under Unary).
 	L, R *PlanNode
+	// Width is the byte width of one output tuple (0 = unknown; see
+	// WidthOr1). WidthTable.Stamp fills it after placement.
+	Width float64
+}
+
+// WidthOr1 returns the node's output tuple width, degrading to the
+// pre-schema unit width when none was stamped, so rate×width costing is
+// byte-identical to rate-only costing for width-free plans.
+func (p *PlanNode) WidthOr1() float64 {
+	if p.Width > 0 {
+		return p.Width
+	}
+	return 1
 }
 
 // Leaf builds a leaf plan node from an input.
 func Leaf(in Input) *PlanNode {
 	cp := in
-	return &PlanNode{Mask: in.Mask, Rate: in.Rate, Loc: in.Loc, In: &cp}
+	return &PlanNode{Mask: in.Mask, Rate: in.Rate, Loc: in.Loc, In: &cp, Width: in.Width}
 }
 
 // Join builds a join node over two children, placed at loc with the given
@@ -71,25 +88,42 @@ func (p *PlanNode) IsUnary() bool { return p.Unary != nil }
 
 // InternalCost returns the communication cost per unit time of all
 // transfers inside the plan: for every join, each child's output rate
-// times the distance from the child's location to the join's node. The
-// final delivery to the sink is excluded (see Cost).
+// times its tuple width times the distance from the child's location to
+// the join's node. Width-free plans degrade to rate×distance. The final
+// delivery to the sink is excluded (see Cost).
 func (p *PlanNode) InternalCost(dist DistFunc) float64 {
 	if p.IsLeaf() {
 		return 0
 	}
 	if p.IsUnary() {
-		return p.L.InternalCost(dist) + p.L.Rate*dist(p.L.Loc, p.Loc)
+		return p.L.InternalCost(dist) + p.L.Rate*p.L.WidthOr1()*dist(p.L.Loc, p.Loc)
 	}
 	c := p.L.InternalCost(dist) + p.R.InternalCost(dist)
-	c += p.L.Rate * dist(p.L.Loc, p.Loc)
-	c += p.R.Rate * dist(p.R.Loc, p.Loc)
+	c += p.L.Rate * p.L.WidthOr1() * dist(p.L.Loc, p.Loc)
+	c += p.R.Rate * p.R.WidthOr1() * dist(p.R.Loc, p.Loc)
 	return c
 }
 
 // Cost returns InternalCost plus the cost of delivering the root output to
 // the sink.
 func (p *PlanNode) Cost(dist DistFunc, sink netgraph.NodeID) float64 {
-	return p.InternalCost(dist) + p.Rate*dist(p.Loc, sink)
+	return p.InternalCost(dist) + p.Rate*p.WidthOr1()*dist(p.Loc, sink)
+}
+
+// PlannedBytes returns the plan's total bytes-on-wire per unit time:
+// rate×width summed over every edge that crosses nodes, including the
+// final delivery to the sink. This is the analytic counterpart of the
+// runtime ledger's TotalBytes rate, and the figure the rewrite pipeline
+// is scored on (distance-independent: a byte on a long path and a short
+// path both count once).
+func (p *PlanNode) PlannedBytes(sink netgraph.NodeID) float64 {
+	hop := func(a, b netgraph.NodeID) float64 {
+		if a == b {
+			return 0
+		}
+		return 1
+	}
+	return p.InternalCost(hop) + p.Rate*p.WidthOr1()*hop(p.Loc, sink)
 }
 
 // Operators returns all operator nodes (joins and unaries) of the plan in
@@ -176,6 +210,9 @@ func (p *PlanNode) Validate() error {
 // String renders the plan as a nested expression with placements, e.g.
 // "((s0@3 ⋈@5 s1@4) ⋈@5 s2@9)".
 func (p *PlanNode) String() string {
+	if p == nil {
+		return "(empty: no plan)"
+	}
 	var b strings.Builder
 	p.render(&b)
 	return b.String()

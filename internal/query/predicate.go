@@ -1,10 +1,17 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 )
+
+// ErrContradiction marks predicate sets whose conjunction is provably
+// empty (disjoint ranges on one attribute). Callers that want to plan
+// such queries as no-ops instead of rejecting them — the rewrite
+// pipeline's constant folding — detect it with errors.Is.
+var ErrContradiction = errors.New("contradictory predicates")
 
 // This file adds selection predicates and query containment — the paper's
 // stated future work ("other optimization opportunities achievable through
@@ -78,7 +85,7 @@ func NewPredSet(preds ...Pred) (PredSet, error) {
 		if ex, ok := ps.m[k]; ok {
 			inter, ok := ex.Intersect(p.Range)
 			if !ok {
-				return PredSet{}, fmt.Errorf("query: contradictory predicates on %d.%s", p.Stream, p.Attr)
+				return PredSet{}, fmt.Errorf("query: %w on %d.%s", ErrContradiction, p.Stream, p.Attr)
 			}
 			ps.m[k] = inter
 			continue

@@ -48,6 +48,14 @@ type Query struct {
 	// Agg, when non-nil, applies a windowed aggregation to the join
 	// result before delivery.
 	Agg *AggSpec
+	// SrcWidths, when non-nil, overrides the shipped byte width of each
+	// source position (0 = use the catalog schema width). The rewrite
+	// pipeline's column pruning sets these below the full schema widths.
+	SrcWidths []float64
+	// Proj, when non-nil, records which columns each pruned source ships.
+	// It participates in operator signatures so pruned operators never
+	// alias full-width ones in the advertisement registry or the runtime.
+	Proj *ProjSpec
 }
 
 // NewQuery validates and builds a query. Sources must be non-empty,
@@ -113,9 +121,23 @@ func (q *Query) SigOf(m Mask) string {
 	streams := q.StreamsOf(m)
 	base := SigOf(streams)
 	if ps := q.Preds.Restrict(streams); !ps.Empty() {
-		return base + "#" + ps.Sig()
+		base += "#" + ps.Sig()
+	}
+	if frag := q.ProjSigOf(m); frag != "" {
+		base += "%" + frag
 	}
 	return base
+}
+
+// ProjSigOf returns the canonical projection fragment of the sub-join
+// covered by m: empty for full-projection (or projection-less) queries,
+// so their signatures are byte-identical with or without the rewrite
+// pipeline.
+func (q *Query) ProjSigOf(m Mask) string {
+	if q.Proj.Empty() {
+		return ""
+	}
+	return q.Proj.SigOf(q.StreamsOf(m))
 }
 
 // MaskOf returns the mask of positions corresponding to a set of global

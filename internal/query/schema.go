@@ -1,0 +1,181 @@
+package query
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultTupleWidth is the byte width assumed for a stream without a
+// declared schema wherever a concrete width is required next to declared
+// ones (mixed catalogs, rewrite byte accounting). It matches the physical
+// runtime's default Config.TupleSize so the analytic and simulated ledgers
+// agree on legacy workloads.
+const DefaultTupleWidth = 100
+
+// Attr is one attribute of a stream schema: a (lowercase) name and its
+// width in bytes on the wire.
+type Attr struct {
+	Name  string
+	Width float64
+}
+
+// Schema is the ordered attribute list of one base stream. A nil schema
+// means "width unknown": the planners fall back to unit widths and the
+// runtime to its global TupleSize, exactly the pre-schema behavior.
+type Schema []Attr
+
+// Width returns the total byte width of one full tuple.
+func (s Schema) Width() float64 {
+	total := 0.0
+	for _, a := range s {
+		total += a.Width
+	}
+	return total
+}
+
+// AttrWidth returns the width of the named attribute and whether it
+// exists.
+func (s Schema) AttrWidth(name string) (float64, bool) {
+	for _, a := range s {
+		if a.Name == name {
+			return a.Width, true
+		}
+	}
+	return 0, false
+}
+
+// ProjSpec records the post-pruning column set shipped for each pruned
+// source stream of one query. Streams absent from the spec ship full
+// tuples. A ProjSpec participates in operator signatures so pruned
+// operators never alias full-width ones.
+type ProjSpec struct {
+	keep map[StreamID][]string
+}
+
+// NewProjSpec returns an empty projection spec.
+func NewProjSpec() *ProjSpec { return &ProjSpec{keep: map[StreamID][]string{}} }
+
+// Set records the kept attributes of one stream (copied, sorted).
+func (p *ProjSpec) Set(id StreamID, attrs []string) {
+	kept := append([]string(nil), attrs...)
+	sort.Strings(kept)
+	p.keep[id] = kept
+}
+
+// Keep returns the kept attributes of a stream and whether the stream is
+// pruned at all.
+func (p *ProjSpec) Keep(id StreamID) ([]string, bool) {
+	if p == nil {
+		return nil, false
+	}
+	attrs, ok := p.keep[id]
+	return attrs, ok
+}
+
+// Empty reports whether no stream is pruned.
+func (p *ProjSpec) Empty() bool { return p == nil || len(p.keep) == 0 }
+
+// SigOf returns the canonical projection fragment for the covered streams:
+// per pruned stream, the sorted kept columns. Streams shipping full tuples
+// contribute nothing, so unpruned queries keep their plain signatures.
+func (p *ProjSpec) SigOf(streams []StreamID) string {
+	if p.Empty() {
+		return ""
+	}
+	sorted := append([]StreamID(nil), streams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	for _, id := range sorted {
+		attrs, ok := p.keep[id]
+		if !ok {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.Itoa(int(id)))
+		b.WriteByte('[')
+		b.WriteString(strings.Join(attrs, ","))
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// WidthTable precomputes the byte width of one output tuple of every
+// sub-join of one query: width(S) = Σ_{i∈S} shipped width of source i
+// (join outputs concatenate their inputs' kept columns). Indexed by Mask,
+// like RateTable. A nil table means "no width information": Width returns
+// 1 so rate×width degrades to the pre-schema rate-only cost model.
+type WidthTable []float64
+
+// Width returns the tuple width of the sub-join covered by m (1 when the
+// table is nil).
+func (t WidthTable) Width(m Mask) float64 {
+	if t == nil {
+		return 1
+	}
+	return t[m]
+}
+
+// BuildWidths computes the width table for q against the catalog. The
+// shipped width of source position i is q.SrcWidths[i] when set (the
+// rewrite pipeline's post-pruning width), else the stream's full schema
+// width, else DefaultTupleWidth for schema-less streams in a catalog that
+// declares at least one schema. When no source carries any width
+// information the result is nil and every width degrades to 1.
+func BuildWidths(cat *Catalog, q *Query) WidthTable {
+	k := q.K()
+	eff := make([]float64, k)
+	any := false
+	for i, sid := range q.Sources {
+		if q.SrcWidths != nil && i < len(q.SrcWidths) && q.SrcWidths[i] > 0 {
+			eff[i] = q.SrcWidths[i]
+			any = true
+			continue
+		}
+		if w := cat.StreamWidth(sid); w > 0 {
+			eff[i] = w
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	for i := range eff {
+		if eff[i] == 0 {
+			eff[i] = DefaultTupleWidth
+		}
+	}
+	t := make(WidthTable, 1<<uint(k))
+	for m := Mask(1); m < Mask(1<<uint(k)); m++ {
+		low := m & (m ^ (m - 1)) // lowest set bit
+		t[m] = t[m&(m-1)] + eff[trailingPos(low)]
+	}
+	return t
+}
+
+func trailingPos(m Mask) int {
+	p := 0
+	for m > 1 {
+		m >>= 1
+		p++
+	}
+	return p
+}
+
+// Stamp annotates every node of a placed plan tree with its output width
+// from the table (a no-op for nil tables, preserving the width-free
+// representation of legacy plans). Leaf inputs are stamped too, so the
+// runtime can size derived subscriptions.
+func (t WidthTable) Stamp(p *PlanNode) {
+	if t == nil || p == nil {
+		return
+	}
+	t.Stamp(p.L)
+	t.Stamp(p.R)
+	p.Width = t[p.Mask]
+	if p.In != nil {
+		p.In.Width = p.Width
+	}
+}

@@ -43,6 +43,7 @@ func mkSelKey(a, b StreamID) selKey {
 type Catalog struct {
 	streams []Stream
 	sel     map[selKey]float64
+	schemas map[StreamID]Schema
 	// DefaultSel is the selectivity assumed for stream pairs without an
 	// explicit entry.
 	DefaultSel float64
@@ -50,7 +51,29 @@ type Catalog struct {
 
 // NewCatalog returns an empty catalog with the given default selectivity.
 func NewCatalog(defaultSel float64) *Catalog {
-	return &Catalog{sel: map[selKey]float64{}, DefaultSel: defaultSel}
+	return &Catalog{sel: map[selKey]float64{}, schemas: map[StreamID]Schema{}, DefaultSel: defaultSel}
+}
+
+// SetSchema declares a stream's attribute schema (copied). Declaring
+// schemas switches the planners' cost model for queries over this stream
+// from rate-only to rate×width, and sizes the runtime's tuples.
+func (c *Catalog) SetSchema(id StreamID, s Schema) {
+	if id < 0 || int(id) >= len(c.streams) {
+		panic(fmt.Sprintf("query: stream %d out of range", id))
+	}
+	c.schemas[id] = append(Schema(nil), s...)
+}
+
+// Schema returns a stream's declared schema (nil when undeclared).
+func (c *Catalog) Schema(id StreamID) Schema { return c.schemas[id] }
+
+// StreamWidth returns the full-tuple byte width of a stream, or 0 when no
+// schema is declared ("width unknown").
+func (c *Catalog) StreamWidth(id StreamID) float64 {
+	if s, ok := c.schemas[id]; ok {
+		return s.Width()
+	}
+	return 0
 }
 
 // Add registers a stream and returns its ID.
